@@ -1,0 +1,459 @@
+package resex
+
+import (
+	"fmt"
+	"testing"
+
+	"resex/internal/benchex"
+	"resex/internal/cluster"
+	"resex/internal/experiments"
+	"resex/internal/fabric"
+	"resex/internal/ibmon"
+	"resex/internal/resex"
+	"resex/internal/sim"
+)
+
+// benchOpts keeps per-iteration virtual time small enough for the -bench
+// runner while long enough for stable shapes. Individual figures can be
+// regenerated at full scale with cmd/resexsim.
+func benchOpts() experiments.Options {
+	return experiments.Options{Duration: 200 * sim.Millisecond, Warmup: 50 * sim.Millisecond}
+}
+
+// runFigure executes one registered figure per benchmark iteration.
+func runFigure(b *testing.B, id string) {
+	b.Helper()
+	e, err := experiments.Lookup(id)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < b.N; i++ {
+		if _, err := e.Run(benchOpts()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig1LatencyDistribution regenerates Figure 1 (latency histogram,
+// Normal vs Interfered) and reports the two means.
+func BenchmarkFig1LatencyDistribution(b *testing.B) {
+	var last *experiments.Fig1Result
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Fig1(benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = r
+	}
+	b.ReportMetric(last.NormalMean, "normal_us")
+	b.ReportMetric(last.InterferedMean, "interfered_us")
+	b.ReportMetric(last.InterferedStd, "interfered_sd")
+}
+
+// BenchmarkFig2MultiServer regenerates Figure 2 (components vs #servers).
+func BenchmarkFig2MultiServer(b *testing.B) { runFigure(b, "fig2") }
+
+// BenchmarkFig3BufferRatio regenerates Figure 3 (cap = 100/BufferRatio)
+// and reports the flatness of the capped-latency bars.
+func BenchmarkFig3BufferRatio(b *testing.B) {
+	var spread float64
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Fig3(benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		lo, hi := r.Rows[0].Total(), r.Rows[0].Total()
+		for _, row := range r.Rows {
+			if t := row.Total(); t < lo {
+				lo = t
+			} else if t > hi {
+				hi = t
+			}
+		}
+		spread = hi / lo
+	}
+	b.ReportMetric(spread, "max/min")
+}
+
+// BenchmarkFig4CapSweep regenerates Figure 4 (latency vs interferer cap)
+// and reports the endpoints.
+func BenchmarkFig4CapSweep(b *testing.B) {
+	var uncapped, cap3, base float64
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Fig4(benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		uncapped = r.Rows[0].Total()
+		cap3 = r.Rows[len(r.Rows)-2].Total()
+		base = r.Rows[len(r.Rows)-1].Total()
+	}
+	b.ReportMetric(uncapped, "uncapped_us")
+	b.ReportMetric(cap3, "cap3_us")
+	b.ReportMetric(base, "base_us")
+}
+
+// BenchmarkFig5FreeMarket regenerates Figure 5 and reports the three-way
+// latency comparison.
+func BenchmarkFig5FreeMarket(b *testing.B) {
+	var r *experiments.TimelineResult
+	for i := 0; i < b.N; i++ {
+		var err error
+		r, err = experiments.Fig5(experiments.Options{Duration: 1200 * sim.Millisecond, Warmup: 50 * sim.Millisecond})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(r.BaseMean, "base_us")
+	b.ReportMetric(r.IntfMean, "interfered_us")
+	b.ReportMetric(r.PolicyMean, "freemarket_us")
+}
+
+// BenchmarkFig6ResoDepletion regenerates Figure 6 and reports how deep the
+// interferer's account fell.
+func BenchmarkFig6ResoDepletion(b *testing.B) {
+	var minFrac float64
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Fig6(experiments.Options{Duration: 1200 * sim.Millisecond, Warmup: 50 * sim.Millisecond})
+		if err != nil {
+			b.Fatal(err)
+		}
+		minFrac = r.IntfMinFraction
+	}
+	b.ReportMetric(minFrac*100, "min_balance_pct")
+}
+
+// BenchmarkFig7IOShares regenerates Figure 7 and reports the interference
+// recovery.
+func BenchmarkFig7IOShares(b *testing.B) {
+	var r *experiments.TimelineResult
+	for i := 0; i < b.N; i++ {
+		var err error
+		r, err = experiments.Fig7(experiments.Options{Duration: 400 * sim.Millisecond, Warmup: 50 * sim.Millisecond})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(r.BaseMean, "base_us")
+	b.ReportMetric(r.IntfMean, "interfered_us")
+	b.ReportMetric(r.PolicyMean, "ioshares_us")
+	if r.IntfMean > r.BaseMean {
+		b.ReportMetric(100*(r.IntfMean-r.PolicyMean)/(r.IntfMean-r.BaseMean), "recovered_pct")
+	}
+}
+
+// BenchmarkFig8NoInterference regenerates Figure 8.
+func BenchmarkFig8NoInterference(b *testing.B) { runFigure(b, "fig8") }
+
+// BenchmarkFig9BufferSweep regenerates Figure 9 and reports the 1MB-buffer
+// policy separation.
+func BenchmarkFig9BufferSweep(b *testing.B) {
+	var fm, ios float64
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Fig9(benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		last := r.Rows[len(r.Rows)-1]
+		fm, ios = last.FreeMarket, last.IOShares
+	}
+	b.ReportMetric(fm, "freemarket_1mb_us")
+	b.ReportMetric(ios, "ioshares_1mb_us")
+}
+
+// ---------------------------------------------------------------------------
+// Ablations: design choices DESIGN.md calls out.
+// ---------------------------------------------------------------------------
+
+// BenchmarkAblationLinkDiscipline compares per-MTU round-robin arbitration
+// (IB virtual lanes) against FIFO head-of-line blocking for the reporting
+// VM under interference.
+func BenchmarkAblationLinkDiscipline(b *testing.B) {
+	for _, disc := range []fabric.Discipline{fabric.RoundRobin, fabric.FIFO} {
+		disc := disc
+		b.Run(disc.String(), func(b *testing.B) {
+			var lat float64
+			for i := 0; i < b.N; i++ {
+				s, err := experiments.Build(experiments.ScenarioConfig{
+					IntfBuffer: experiments.IntfBuffer,
+					Discipline: disc,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				s.RunMeasured(benchOpts())
+				lat = s.RepStats().Total.Mean()
+			}
+			b.ReportMetric(lat, "latency_us")
+		})
+	}
+}
+
+// BenchmarkAblationIBMonPeriod sweeps the introspection sampling period and
+// reports the byte-estimation error on a deliberately small (16-entry) CQ,
+// so slow sampling enters the lossy, extrapolating regime.
+func BenchmarkAblationIBMonPeriod(b *testing.B) {
+	for _, period := range []sim.Time{100 * sim.Microsecond, sim.Millisecond, 10 * sim.Millisecond} {
+		period := period
+		b.Run(period.String(), func(b *testing.B) {
+			var errPct float64
+			for i := 0; i < b.N; i++ {
+				tb := cluster.New(cluster.Config{})
+				hostA, hostB := tb.AddHost(1), tb.AddHost(2)
+				app, err := tb.NewApp("app", hostA, hostB,
+					benchex.ServerConfig{BufferSize: 64 << 10, CQDepth: 16},
+					benchex.ClientConfig{BufferSize: 64 << 10})
+				if err != nil {
+					b.Fatal(err)
+				}
+				mon := ibmon.New(hostA.HV, nil, ibmon.Config{Period: period})
+				tgt, err := mon.WatchCQ(app.ServerVM.Dom.ID(), app.Server.SendCQ())
+				if err != nil {
+					b.Fatal(err)
+				}
+				app.Start()
+				mon.Start(tb.Eng)
+				tb.Eng.RunUntil(200 * sim.Millisecond)
+				mon.Stop()
+				truth := hostA.HCA.BytesSent()
+				if truth > 0 {
+					errPct = 100 * float64(tgt.Usage().BytesSent-truth) / float64(truth)
+					if errPct < 0 {
+						errPct = -errPct
+					}
+				}
+				tb.Eng.Shutdown()
+			}
+			b.ReportMetric(errPct, "abs_err_pct")
+		})
+	}
+}
+
+// BenchmarkAblationInterfererRate sweeps the interference generator's
+// request rate, showing how reporting latency scales with offered load.
+func BenchmarkAblationInterfererRate(b *testing.B) {
+	for _, interval := range []sim.Time{10 * sim.Millisecond, 5 * sim.Millisecond, 2500 * sim.Microsecond} {
+		interval := interval
+		b.Run(fmt.Sprintf("every-%v", interval), func(b *testing.B) {
+			var lat float64
+			for i := 0; i < b.N; i++ {
+				s, err := experiments.Build(experiments.ScenarioConfig{
+					IntfBuffer:   experiments.IntfBuffer,
+					IntfInterval: interval,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				s.RunMeasured(benchOpts())
+				lat = s.RepStats().Total.Mean()
+			}
+			b.ReportMetric(lat, "latency_us")
+		})
+	}
+}
+
+// BenchmarkAblationNICRateLimit compares ResEx's CPU-cap mechanism against
+// the per-flow NIC rate limiting of newer adapters (which the paper's
+// introduction anticipates): both throttle the 2MB interferer to ~3% of the
+// link, but the NIC limit leaves the interferer's CPU untouched. Reported
+// metrics: the victim's latency and the interferer's achieved compute.
+func BenchmarkAblationNICRateLimit(b *testing.B) {
+	run := func(b *testing.B, useNIC bool) {
+		var lat, intfCPU float64
+		for i := 0; i < b.N; i++ {
+			s, err := experiments.Build(experiments.ScenarioConfig{IntfBuffer: experiments.IntfBuffer})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if useNIC {
+				// The server endpoint QP is the interferer's only sender
+				// on host A; pace it to ~3% of the link directly.
+				s.Intf.ServerQP.SetRateLimit(30e6)
+			} else {
+				s.Intf.ServerVM.Dom.SetCap(3)
+			}
+			s.RunMeasured(benchOpts())
+			lat = s.RepStats().Total.Mean()
+			intfCPU = s.Intf.ServerVM.Dom.CPUTime().Seconds()
+		}
+		b.ReportMetric(lat, "victim_latency_us")
+		b.ReportMetric(intfCPU, "intf_cpu_s")
+	}
+	b.Run("cpu-cap-3pct", func(b *testing.B) { run(b, false) })
+	b.Run("nic-30MBps", func(b *testing.B) { run(b, true) })
+}
+
+// BenchmarkAblationEpochLength sweeps FreeMarket's epoch length: shorter
+// epochs replenish the interferer sooner and weaken the policy.
+func BenchmarkAblationEpochLength(b *testing.B) {
+	for _, perEpoch := range []int{250, 1000, 4000} {
+		perEpoch := perEpoch
+		b.Run(fmt.Sprintf("%d-intervals", perEpoch), func(b *testing.B) {
+			var lat float64
+			for i := 0; i < b.N; i++ {
+				tb := cluster.New(cluster.Config{})
+				hostA, hostB := tb.AddHost(1), tb.AddHost(2)
+				rep, err := tb.NewApp("rep", hostA, hostB,
+					benchex.ServerConfig{BufferSize: 64 << 10},
+					benchex.ClientConfig{BufferSize: 64 << 10})
+				if err != nil {
+					b.Fatal(err)
+				}
+				intf, err := tb.NewApp("intf", hostA, hostB,
+					benchex.ServerConfig{BufferSize: 2 << 20, ProcessTime: 2 * sim.Millisecond, PipelineResponses: true},
+					benchex.ClientConfig{BufferSize: 2 << 20, Window: 16, Interval: 2500 * sim.Microsecond})
+				if err != nil {
+					b.Fatal(err)
+				}
+				dom0 := hostA.Dom0VCPU()
+				mon := ibmon.New(hostA.HV, dom0, ibmon.Config{})
+				mgr := resex.New(tb.Eng, hostA.HV, mon, dom0, resex.NewFreeMarket(),
+					resex.Config{IntervalsPerEpoch: perEpoch})
+				if _, err := mgr.Manage(rep.ServerVM.Dom, rep.Server.SendCQ(), 0); err != nil {
+					b.Fatal(err)
+				}
+				if _, err := mgr.Manage(intf.ServerVM.Dom, intf.Server.SendCQ(), 0); err != nil {
+					b.Fatal(err)
+				}
+				rep.Start()
+				intf.Start()
+				mon.Start(tb.Eng)
+				mgr.Start()
+				tb.Eng.RunUntil(1500 * sim.Millisecond)
+				lat = rep.Server.Stats().Total.Mean()
+				tb.Eng.Shutdown()
+			}
+			b.ReportMetric(lat, "latency_us")
+		})
+	}
+}
+
+// BenchmarkAblationPollingVsEvents compares busy-polling against
+// event-driven completions for a server capped at 10%: spinning burns the
+// cap budget, events preserve it for real work.
+func BenchmarkAblationPollingVsEvents(b *testing.B) {
+	run := func(b *testing.B, eventDriven bool) {
+		var served int64
+		var lat float64
+		for i := 0; i < b.N; i++ {
+			tb := cluster.New(cluster.Config{})
+			hostA, hostB := tb.AddHost(1), tb.AddHost(2)
+			app, err := tb.NewApp("app", hostA, hostB,
+				benchex.ServerConfig{BufferSize: 64 << 10, EventDriven: eventDriven},
+				benchex.ClientConfig{BufferSize: 64 << 10, Window: 4})
+			if err != nil {
+				b.Fatal(err)
+			}
+			app.ServerVM.Dom.SetCap(10)
+			app.Start()
+			tb.Eng.RunUntil(300 * sim.Millisecond)
+			served = app.Server.Stats().Served
+			lat = app.Server.Stats().Total.Mean()
+			tb.Eng.Shutdown()
+		}
+		b.ReportMetric(float64(served)/0.3, "req/s")
+		b.ReportMetric(lat, "latency_us")
+	}
+	b.Run("polling", func(b *testing.B) { run(b, false) })
+	b.Run("events", func(b *testing.B) { run(b, true) })
+}
+
+// BenchmarkConsolidationCapacity answers the paper's motivating question —
+// exchanges run below 10% utilization, so how many latency-sensitive
+// applications can share a host within an SLA? It packs 64KB apps onto
+// host A until the first app's mean latency exceeds SLA (base × 1.25) and
+// reports the achieved density.
+func BenchmarkConsolidationCapacity(b *testing.B) {
+	var density int
+	for i := 0; i < b.N; i++ {
+		density = 0
+		for n := 1; n <= 6; n++ {
+			tb := cluster.New(cluster.Config{PCPUsPerHost: 8})
+			hostA, hostB := tb.AddHost(1), tb.AddHost(2)
+			apps := make([]*cluster.App, n)
+			for j := range apps {
+				app, err := tb.NewApp(fmt.Sprintf("a%d", j), hostA, hostB,
+					benchex.ServerConfig{BufferSize: 64 << 10},
+					benchex.ClientConfig{BufferSize: 64 << 10, Seed: int64(j + 1)})
+				if err != nil {
+					b.Fatal(err)
+				}
+				apps[j] = app
+				app.Start()
+			}
+			tb.Eng.RunUntil(200 * sim.Millisecond)
+			worst := 0.0
+			for _, app := range apps {
+				if m := app.Server.Stats().Total.Mean(); m > worst {
+					worst = m
+				}
+			}
+			tb.Eng.Shutdown()
+			if worst > 233.5*1.25 {
+				break
+			}
+			density = n
+		}
+	}
+	b.ReportMetric(float64(density), "apps_within_sla")
+}
+
+// ---------------------------------------------------------------------------
+// Microbenchmarks: simulator core performance (events/sec, messages/sec).
+// ---------------------------------------------------------------------------
+
+// BenchmarkEngineEvents measures raw event throughput of the DES core.
+func BenchmarkEngineEvents(b *testing.B) {
+	eng := sim.New()
+	var tick func()
+	n := 0
+	tick = func() {
+		n++
+		if n < b.N {
+			eng.After(100, tick)
+		}
+	}
+	b.ResetTimer()
+	eng.After(100, tick)
+	eng.Run()
+}
+
+// BenchmarkHCASmallMessages measures end-to-end message throughput of the
+// HCA+fabric stack (1KB sends, completion-driven).
+func BenchmarkHCASmallMessages(b *testing.B) {
+	tb := cluster.New(cluster.Config{})
+	hostA, hostB := tb.AddHost(1), tb.AddHost(2)
+	app, err := tb.NewApp("app", hostA, hostB,
+		benchex.ServerConfig{BufferSize: 1 << 10},
+		benchex.ClientConfig{BufferSize: 1 << 10, Requests: 0, Window: 8})
+	if err != nil {
+		b.Fatal(err)
+	}
+	app.Start()
+	b.ResetTimer()
+	target := int64(b.N)
+	for app.Server.Stats().Served < target {
+		tb.Eng.RunUntil(tb.Eng.Now() + 10*sim.Millisecond)
+	}
+	b.StopTimer()
+	tb.Eng.Shutdown()
+}
+
+// BenchmarkFullStackSimSecond measures wall time per simulated second of
+// the complete ResEx/IOShares interference scenario — the repo's main
+// "how expensive is a run" number.
+func BenchmarkFullStackSimSecond(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s, err := experiments.Build(experiments.ScenarioConfig{
+			IntfBuffer: experiments.IntfBuffer,
+			Policy:     resex.NewIOShares(),
+			SLAUs:      experiments.BaseSLAUs,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		s.Start()
+		s.TB.Eng.RunUntil(sim.Second)
+		s.Shutdown()
+	}
+}

@@ -1,0 +1,130 @@
+// Command resexsim reproduces the paper's evaluation figures.
+//
+// Usage:
+//
+//	resexsim -fig fig7                 # one figure, text output
+//	resexsim -all                      # every figure
+//	resexsim -fig fig9 -csv            # CSV to stdout
+//	resexsim -fig fig5 -duration 10s   # longer measured window
+//	resexsim -list                     # available figures
+//
+// The -duration flag trades fidelity for wall time; the defaults give
+// stable shapes in a few seconds per figure.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"resex/internal/experiments"
+	"resex/internal/report"
+	"resex/internal/sim"
+)
+
+func main() {
+	var (
+		fig      = flag.String("fig", "", "figure to reproduce (fig1..fig9)")
+		all      = flag.Bool("all", false, "reproduce every figure")
+		list     = flag.Bool("list", false, "list available figures")
+		csv      = flag.Bool("csv", false, "emit CSV instead of text")
+		jsonOut  = flag.Bool("json", false, "emit result structs as JSON")
+		svgDir   = flag.String("svg", "", "also write <dir>/<fig>.svg charts")
+		duration = flag.Duration("duration", 2*time.Second, "measured virtual time per run")
+		warmup   = flag.Duration("warmup", 100*time.Millisecond, "virtual warmup before measuring")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, id := range experiments.IDs() {
+			e, _ := experiments.Lookup(id)
+			fmt.Printf("%-6s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+
+	var ids []string
+	switch {
+	case *all:
+		ids = experiments.IDs()
+	case *fig != "":
+		ids = []string{*fig}
+	default:
+		fmt.Fprintln(os.Stderr, "resexsim: need -fig <id>, -all or -list")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	opts := experiments.Options{
+		Duration: sim.Time(duration.Nanoseconds()),
+		Warmup:   sim.Time(warmup.Nanoseconds()),
+	}
+	var index []report.IndexEntry
+	for _, id := range ids {
+		e, err := experiments.Lookup(id)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		start := time.Now()
+		res, err := e.Run(opts)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "resexsim: %s: %v\n", id, err)
+			os.Exit(1)
+		}
+		if *svgDir != "" {
+			if err := os.MkdirAll(*svgDir, 0o755); err != nil {
+				fmt.Fprintln(os.Stderr, "resexsim:", err)
+				os.Exit(1)
+			}
+			svg, err := report.RenderSVG(res)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "resexsim:", err)
+				os.Exit(1)
+			}
+			path := filepath.Join(*svgDir, id+".svg")
+			if err := os.WriteFile(path, []byte(svg), 0o644); err != nil {
+				fmt.Fprintln(os.Stderr, "resexsim:", err)
+				os.Exit(1)
+			}
+			fmt.Fprintf(os.Stderr, "wrote %s\n", path)
+			var txt strings.Builder
+			_ = res.WriteText(&txt)
+			index = append(index, report.IndexEntry{
+				ID: id, Title: e.Title, SVGFile: id + ".svg", Text: txt.String(),
+			})
+		}
+		if *jsonOut {
+			enc := json.NewEncoder(os.Stdout)
+			enc.SetIndent("", "  ")
+			if err := enc.Encode(map[string]any{"id": id, "title": e.Title, "result": res}); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+		} else if *csv {
+			if err := res.WriteCSV(os.Stdout); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+		} else {
+			if err := res.WriteText(os.Stdout); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			fmt.Printf("\n[%s completed in %v wall time]\n\n", id, time.Since(start).Round(time.Millisecond))
+		}
+	}
+	if *svgDir != "" && len(index) > 0 {
+		page := report.HTMLIndex("ResEx reproduction — figures and ablations", index)
+		path := filepath.Join(*svgDir, "index.html")
+		if err := os.WriteFile(path, []byte(page), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "resexsim:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s\n", path)
+	}
+}

@@ -1,0 +1,109 @@
+// Command resextop is a xentop-style monitor for the simulated platform:
+// it runs the standard interference scenario and prints a per-VM table —
+// CPU%, MTUs/s, charging rate, CPU cap, Reso balance — every reporting
+// period of virtual time, straight from the ResEx manager's observer hook.
+//
+// Usage:
+//
+//	resextop                       # IOShares, 2s, 100ms refresh
+//	resextop -policy freemarket -duration 3s -refresh 250ms
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"resex/internal/experiments"
+	"resex/internal/resex"
+	"resex/internal/sim"
+)
+
+func main() {
+	var (
+		policyName = flag.String("policy", "ioshares", "pricing policy: freemarket or ioshares")
+		duration   = flag.Duration("duration", 2*time.Second, "virtual run time")
+		refresh    = flag.Duration("refresh", 100*time.Millisecond, "virtual time between table prints")
+	)
+	flag.Parse()
+
+	var policy resex.Policy
+	switch strings.ToLower(*policyName) {
+	case "freemarket", "fm":
+		policy = resex.NewFreeMarket()
+	case "ioshares", "ios":
+		policy = resex.NewIOShares()
+	default:
+		fmt.Fprintf(os.Stderr, "resextop: unknown policy %q\n", *policyName)
+		os.Exit(2)
+	}
+
+	s, err := experiments.Build(experiments.ScenarioConfig{
+		IntfBuffer: experiments.IntfBuffer,
+		Policy:     policy,
+		SLAUs:      experiments.BaseSLAUs,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "resextop:", err)
+		os.Exit(1)
+	}
+
+	period := sim.Time(refresh.Nanoseconds())
+	interval := s.Mgr.Config().Interval
+	every := int64(period / interval)
+	if every < 1 {
+		every = 1
+	}
+
+	fmt.Printf("resextop — policy %s, refresh %v (virtual)\n", policy.Name(), *refresh)
+	type accum struct {
+		mtus int64
+		cpu  float64
+		n    int64
+	}
+	acc := map[string]*accum{}
+	s.Mgr.Observe(func(d *resex.IntervalData) {
+		for i := range d.VMs {
+			t := &d.VMs[i]
+			a := acc[t.VM.Dom.Name()]
+			if a == nil {
+				a = &accum{}
+				acc[t.VM.Dom.Name()] = a
+			}
+			a.mtus += t.MTUs
+			a.cpu += t.CPUPct
+			a.n++
+		}
+		if d.Index%every != 0 {
+			return
+		}
+		fmt.Printf("\n[t=%v]\n", d.Now)
+		fmt.Printf("%-18s %7s %10s %7s %6s %12s %8s\n",
+			"VM", "CPU%", "MTUs/s", "rate", "cap%", "resos", "intf?")
+		for i := range d.VMs {
+			t := &d.VMs[i]
+			a := acc[t.VM.Dom.Name()]
+			capStr := "-"
+			if c := t.VM.Dom.Cap(); c > 0 {
+				capStr = fmt.Sprintf("%d", c)
+			}
+			intf := ""
+			if t.VM.Interfered() {
+				intf = "victim"
+			} else if t.VM.Rate() > 1 {
+				intf = "taxed"
+			}
+			perSec := float64(a.mtus) / (float64(a.n) * interval.Seconds())
+			fmt.Printf("%-18s %7.1f %10.0f %7.2f %6s %12d %8s\n",
+				t.VM.Dom.Name(), a.cpu/float64(a.n), perSec,
+				t.VM.Rate(), capStr, t.VM.Account.Balance(), intf)
+			*a = accum{}
+		}
+	})
+
+	s.Start()
+	s.TB.Eng.RunUntil(sim.Time(duration.Nanoseconds()))
+	s.Shutdown()
+}

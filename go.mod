@@ -1,0 +1,3 @@
+module resex
+
+go 1.22

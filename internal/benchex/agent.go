@@ -1,0 +1,99 @@
+package benchex
+
+import (
+	"resex/internal/sim"
+	"resex/internal/xen"
+)
+
+// LatencyReport is what the in-VM agent forwards to ResEx: a summary of the
+// server latencies observed since the previous report.
+type LatencyReport struct {
+	Domain xen.DomID
+	At     sim.Time
+	Count  int64
+	Mean   float64 // µs
+	Std    float64 // µs
+	Max    float64 // µs
+}
+
+// ReportSink receives agent reports (implemented by the ResEx manager).
+type ReportSink interface {
+	LatencyReport(r LatencyReport)
+}
+
+// AgentConfig parameterizes the in-VM monitoring agent.
+type AgentConfig struct {
+	// Period between reports. Default 1 ms (one ResEx charge interval).
+	Period sim.Time
+	// ReportCost is the CPU charged per report; the paper measures ~10 µs.
+	ReportCost sim.Time
+}
+
+func (c AgentConfig) withDefaults() AgentConfig {
+	if c.Period <= 0 {
+		c.Period = sim.Millisecond
+	}
+	if c.ReportCost == 0 {
+		c.ReportCost = 10 * sim.Microsecond
+	}
+	return c
+}
+
+// Agent runs inside the server VM, sharing its VCPU with the server loop,
+// and periodically forwards latency summaries to ResEx. Its CPU cost rides
+// on the VM like any other guest work.
+type Agent struct {
+	cfg     AgentConfig
+	server  *Server
+	dom     xen.DomID
+	sink    ReportSink
+	proc    *sim.Proc
+	running bool
+	reports int64
+}
+
+// NewAgent creates an agent for the given server, reporting as the given
+// domain to the sink.
+func NewAgent(server *Server, dom xen.DomID, sink ReportSink, cfg AgentConfig) *Agent {
+	return &Agent{cfg: cfg.withDefaults(), server: server, dom: dom, sink: sink}
+}
+
+// Reports returns how many reports the agent has sent.
+func (a *Agent) Reports() int64 { return a.reports }
+
+// Start launches the reporting loop on the server's engine and VCPU.
+func (a *Agent) Start() {
+	if a.running {
+		return
+	}
+	a.running = true
+	a.proc = a.server.eng.Go(a.server.cfg.Name+"-agent", func(p *sim.Proc) {
+		for a.running {
+			p.Sleep(a.cfg.Period)
+			w := a.server.drainWindow()
+			if w.Count() == 0 {
+				continue
+			}
+			// Reporting costs the VM CPU (the paper's ~10µs), so heavy
+			// reporting shows up as guest overhead, not as magic.
+			a.server.vcpu.Use(p, a.cfg.ReportCost)
+			a.reports++
+			a.sink.LatencyReport(LatencyReport{
+				Domain: a.dom,
+				At:     a.server.eng.Now(),
+				Count:  w.Count(),
+				Mean:   w.Mean(),
+				Std:    w.StdDev(),
+				Max:    w.Max(),
+			})
+		}
+	})
+}
+
+// Stop halts the reporting loop.
+func (a *Agent) Stop() {
+	a.running = false
+	if a.proc != nil && !a.proc.Ended() {
+		a.proc.Kill()
+	}
+}

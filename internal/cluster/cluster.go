@@ -1,0 +1,254 @@
+// Package cluster assembles the paper's testbed out of the substrate
+// packages: two (or more) physical hosts, each with a Xen hypervisor and an
+// InfiniBand HCA, joined by a switch; VMs pinned one-per-PCPU; and BenchEx
+// applications wired server-on-host-A / client-on-host-B, exactly like the
+// evaluation setup (two Dell PowerEdge servers through a Xsigo 10 Gbps I/O
+// director, guests with one VCPU each).
+package cluster
+
+import (
+	"fmt"
+
+	"resex/internal/benchex"
+	"resex/internal/fabric"
+	"resex/internal/hca"
+	"resex/internal/sim"
+	"resex/internal/splitdriver"
+	"resex/internal/xen"
+)
+
+// Config parameterizes a testbed.
+type Config struct {
+	// LinkBandwidth in bytes/second. Default 1 GB/s (8 Gbps effective
+	// payload rate of the paper's DDR link after 8b/10b).
+	LinkBandwidth float64
+	// LinkPropagation per hop. Default 100 ns.
+	LinkPropagation sim.Time
+	// SwitchLatency is the forwarding delay. Default 200 ns.
+	SwitchLatency sim.Time
+	// Discipline is the link arbitration (RoundRobin models IB virtual
+	// lanes; FIFO is the head-of-line-blocking ablation).
+	Discipline fabric.Discipline
+	// PCPUsPerHost sizes each host. Default 8.
+	PCPUsPerHost int
+	// MTU in bytes. Default 1024.
+	MTU int
+}
+
+func (c Config) withDefaults() Config {
+	if c.LinkBandwidth <= 0 {
+		c.LinkBandwidth = 1e9
+	}
+	if c.LinkPropagation == 0 {
+		c.LinkPropagation = 100 * sim.Nanosecond
+	}
+	if c.SwitchLatency == 0 {
+		c.SwitchLatency = 200 * sim.Nanosecond
+	}
+	if c.PCPUsPerHost <= 0 {
+		c.PCPUsPerHost = 8
+	}
+	if c.MTU <= 0 {
+		c.MTU = fabric.DefaultMTU
+	}
+	return c
+}
+
+// Host is one physical machine: hypervisor + HCA + links + the dom0
+// backend half of the split device driver.
+type Host struct {
+	Node     int
+	HV       *xen.Hypervisor
+	HCA      *hca.HCA
+	Uplink   *fabric.Link
+	Downlink *fabric.Link
+	Backend  *splitdriver.Backend
+	nextPCPU int
+}
+
+// VM is a guest with one VCPU pinned to its own PCPU and a protection
+// domain on the host HCA (obtained through its split-driver frontend).
+type VM struct {
+	Host     *Host
+	Dom      *xen.Domain
+	VCPU     *xen.VCPU
+	PD       *hca.PD
+	Frontend *splitdriver.Frontend
+}
+
+// Testbed is the assembled cluster.
+type Testbed struct {
+	Eng    *sim.Engine
+	Switch *fabric.Switch
+	cfg    Config
+	hosts  map[int]*hca.HCA
+	Hosts  []*Host
+}
+
+// New creates an empty testbed on a fresh engine.
+func New(cfg Config) *Testbed {
+	cfg = cfg.withDefaults()
+	eng := sim.New()
+	return &Testbed{
+		Eng:    eng,
+		Switch: fabric.NewSwitch(eng, cfg.SwitchLatency),
+		cfg:    cfg,
+		hosts:  make(map[int]*hca.HCA),
+	}
+}
+
+// AddHost creates a physical machine and attaches it to the switch. Node
+// ids must be unique.
+func (tb *Testbed) AddHost(node int) *Host {
+	if _, dup := tb.hosts[node]; dup {
+		panic(fmt.Sprintf("cluster: node %d already exists", node))
+	}
+	h := &Host{
+		Node:     node,
+		HV:       xen.New(tb.Eng, xen.Config{NumPCPUs: tb.cfg.PCPUsPerHost}),
+		nextPCPU: 1, // PCPU 0 is dom0's
+	}
+	h.HCA = hca.New(tb.Eng, hca.Config{Node: node, MTU: tb.cfg.MTU})
+	h.HCA.SetPeerResolver(func(n int) *hca.HCA { return tb.hosts[n] })
+	h.Uplink = fabric.NewLink(tb.Eng, fmt.Sprintf("up%d", node), tb.cfg.LinkBandwidth,
+		tb.cfg.LinkPropagation, tb.cfg.Discipline, tb.Switch.Inject)
+	h.Downlink = fabric.NewLink(tb.Eng, fmt.Sprintf("down%d", node), tb.cfg.LinkBandwidth,
+		tb.cfg.LinkPropagation, tb.cfg.Discipline, h.HCA.Deliver)
+	h.HCA.SetUplink(h.Uplink)
+	tb.Switch.AttachNode(node, h.Downlink)
+	h.Backend = splitdriver.NewBackend(tb.Eng, h.HCA, h.Dom0VCPU(), splitdriver.Costs{})
+	tb.hosts[node] = h.HCA
+	tb.Hosts = append(tb.Hosts, h)
+	return h
+}
+
+// Dom0VCPU returns (booting it on first use) the dom0 VCPU on PCPU 0, where
+// ResEx and IBMon run.
+func (h *Host) Dom0VCPU() *xen.VCPU {
+	d0 := h.HV.Dom0()
+	if len(d0.VCPUs()) == 0 {
+		return d0.AddVCPU(h.HV.PCPU(0))
+	}
+	return d0.VCPUs()[0]
+}
+
+// NewVM boots a guest with 512 MB, one VCPU pinned to a dedicated PCPU, and
+// a paravirtual IB frontend connected to the host's dom0 backend — the
+// paper's guest configuration. Because the PD comes from the backend, every
+// verbs resource the guest creates is visible in the dom0 registry (for
+// IBMon discovery), even though the data path bypasses the VMM.
+func (h *Host) NewVM(name string) *VM {
+	if h.nextPCPU >= h.HV.NumPCPUs() {
+		panic(fmt.Sprintf("cluster: host %d out of PCPUs for %q", h.Node, name))
+	}
+	dom := h.HV.CreateDomain(name, 512<<20, 0)
+	vcpu := dom.AddVCPU(h.HV.PCPU(h.nextPCPU))
+	h.nextPCPU++
+	fe := h.Backend.Connect(dom, vcpu)
+	return &VM{Host: h, Dom: dom, VCPU: vcpu, PD: fe.PD(), Frontend: fe}
+}
+
+// ConnectQPs wires two QPs into an RC connection (the out-of-band
+// connection manager).
+func ConnectQPs(a, b *hca.QP, aHost, bHost *Host) error {
+	if err := a.Connect(bHost.Node, b.QPN()); err != nil {
+		return err
+	}
+	return b.Connect(aHost.Node, a.QPN())
+}
+
+// App is one BenchEx application: a server VM and a client VM joined by a
+// connected QP pair.
+type App struct {
+	Name     string
+	ServerVM *VM
+	ClientVM *VM
+	Server   *benchex.Server
+	Client   *benchex.Client
+	// ServerQP is the server-side endpoint queue pair (e.g. for applying
+	// per-flow NIC rate limits).
+	ServerQP *hca.QP
+	// ExtraClients holds additional clients attached with AddClient.
+	ExtraClients []*benchex.Client
+}
+
+// NewApp boots a server VM on serverHost and a client VM on clientHost,
+// builds the BenchEx pair and connects them. Call Start (or start the parts
+// individually) before running the engine.
+func (tb *Testbed) NewApp(name string, serverHost, clientHost *Host, scfg benchex.ServerConfig, ccfg benchex.ClientConfig) (*App, error) {
+	if scfg.Name == "" {
+		scfg.Name = name + "-server"
+	}
+	if ccfg.Name == "" {
+		ccfg.Name = name + "-client"
+	}
+	if scfg.BufferSize == 0 {
+		scfg.BufferSize = ccfg.BufferSize
+	}
+	if ccfg.BufferSize == 0 {
+		ccfg.BufferSize = scfg.BufferSize
+	}
+	app := &App{Name: name}
+	app.ServerVM = serverHost.NewVM(name + "-server-vm")
+	app.ClientVM = clientHost.NewVM(name + "-client-vm")
+	app.Server = benchex.NewServer(tb.Eng, app.ServerVM.VCPU, app.ServerVM.PD, scfg)
+	var err error
+	app.Client, err = benchex.NewClient(tb.Eng, app.ClientVM.VCPU, app.ClientVM.PD, ccfg)
+	if err != nil {
+		return nil, err
+	}
+	sqp, err := app.Server.NewEndpoint()
+	if err != nil {
+		return nil, err
+	}
+	app.ServerQP = sqp
+	if err := ConnectQPs(sqp, app.Client.Endpoint(), serverHost, clientHost); err != nil {
+		return nil, err
+	}
+	return app, nil
+}
+
+// Start launches the server and all clients.
+func (a *App) Start() {
+	a.Server.Start()
+	a.Client.Start()
+	for _, c := range a.ExtraClients {
+		c.Start()
+	}
+}
+
+// Stop halts all sides.
+func (a *App) Stop() {
+	a.Client.Stop()
+	for _, c := range a.ExtraClients {
+		c.Stop()
+	}
+	a.Server.Stop()
+}
+
+// AddClient attaches another client VM (on clientHost) to the app's server
+// — the paper's "multiple clients post transactions and request feeds from
+// a trading server" topology. The server serves all clients FCFS through
+// its shared receive completion queue.
+func (tb *Testbed) AddClient(a *App, clientHost *Host, ccfg benchex.ClientConfig) (*benchex.Client, error) {
+	if ccfg.Name == "" {
+		ccfg.Name = fmt.Sprintf("%s-client%d", a.Name, len(a.ExtraClients)+2)
+	}
+	if ccfg.BufferSize == 0 {
+		ccfg.BufferSize = a.Server.Config().BufferSize
+	}
+	vm := clientHost.NewVM(ccfg.Name + "-vm")
+	c, err := benchex.NewClient(tb.Eng, vm.VCPU, vm.PD, ccfg)
+	if err != nil {
+		return nil, err
+	}
+	sqp, err := a.Server.NewEndpoint()
+	if err != nil {
+		return nil, err
+	}
+	if err := ConnectQPs(sqp, c.Endpoint(), a.ServerVM.Host, clientHost); err != nil {
+		return nil, err
+	}
+	a.ExtraClients = append(a.ExtraClients, c)
+	return c, nil
+}

@@ -1,0 +1,289 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"resex/internal/benchex"
+	"resex/internal/cluster"
+	"resex/internal/fabric"
+	"resex/internal/stats"
+)
+
+// Ablation experiments probe design choices the paper leaves implicit.
+// They are registered alongside the figures (ids "abl-arb", "abl-mech",
+// "abl-events", "abl-capacity") and have bench equivalents in
+// bench_test.go.
+
+// ---------------------------------------------------------------------------
+// abl-arb: link arbitration discipline.
+// ---------------------------------------------------------------------------
+
+// AblArbRow is one discipline's victim measurement.
+type AblArbRow struct {
+	Discipline string
+	Mean, P99  float64
+}
+
+// AblArbResult compares per-MTU round-robin vs FIFO arbitration.
+type AblArbResult struct{ Rows []AblArbRow }
+
+// Title implements Result.
+func (r *AblArbResult) Title() string {
+	return "Ablation: link arbitration discipline under 2MB interference"
+}
+
+// WriteText implements Result.
+func (r *AblArbResult) WriteText(w io.Writer) error {
+	fmt.Fprintf(w, "%s\n\n%-12s %12s %12s\n", r.Title(), "discipline", "mean(µs)", "p99(µs)")
+	for _, row := range r.Rows {
+		fmt.Fprintf(w, "%-12s %12.1f %12.1f\n", row.Discipline, row.Mean, row.P99)
+	}
+	return nil
+}
+
+// WriteCSV implements Result.
+func (r *AblArbResult) WriteCSV(w io.Writer) error {
+	fmt.Fprintln(w, "discipline,mean_us,p99_us")
+	for _, row := range r.Rows {
+		fmt.Fprintf(w, "%s,%g,%g\n", row.Discipline, row.Mean, row.P99)
+	}
+	return nil
+}
+
+// AblArb measures how much of the platform's latency tolerance comes from
+// VL-style round-robin arbitration rather than from ResEx.
+func AblArb(o Options) (*AblArbResult, error) {
+	o = o.WithDefaults()
+	res := &AblArbResult{}
+	for _, disc := range []fabric.Discipline{fabric.RoundRobin, fabric.FIFO} {
+		s, err := Build(ScenarioConfig{IntfBuffer: IntfBuffer, Discipline: disc, Timeline: true})
+		if err != nil {
+			return nil, err
+		}
+		s.RunMeasured(o)
+		st := s.RepStats()
+		sample := stats.NewSample(int(st.Served))
+		for _, rec := range st.Timeline {
+			sample.Add(rec.Total().Microseconds())
+		}
+		res.Rows = append(res.Rows, AblArbRow{
+			Discipline: disc.String(),
+			Mean:       st.Total.Mean(),
+			P99:        sample.Quantile(0.99),
+		})
+	}
+	return res, nil
+}
+
+// ---------------------------------------------------------------------------
+// abl-mech: CPU caps vs NIC per-flow rate limits.
+// ---------------------------------------------------------------------------
+
+// AblMechRow is one mechanism's outcome.
+type AblMechRow struct {
+	Mechanism  string
+	VictimMean float64
+	IntfCPU    float64 // seconds of CPU the interferer got
+	IntfMBs    float64 // interferer egress throughput
+}
+
+// AblMechResult compares the hypervisor's only lever (CPU caps) against
+// direct NIC rate limiting.
+type AblMechResult struct{ Rows []AblMechRow }
+
+// Title implements Result.
+func (r *AblMechResult) Title() string {
+	return "Ablation: CPU cap vs NIC rate limit as the throttling mechanism"
+}
+
+// WriteText implements Result.
+func (r *AblMechResult) WriteText(w io.Writer) error {
+	fmt.Fprintf(w, "%s\n\n%-16s %12s %12s %14s\n", r.Title(), "mechanism", "victim(µs)", "intf CPU(s)", "intf MB/s")
+	for _, row := range r.Rows {
+		fmt.Fprintf(w, "%-16s %12.1f %12.4f %14.1f\n", row.Mechanism, row.VictimMean, row.IntfCPU, row.IntfMBs)
+	}
+	return nil
+}
+
+// WriteCSV implements Result.
+func (r *AblMechResult) WriteCSV(w io.Writer) error {
+	fmt.Fprintln(w, "mechanism,victim_us,intf_cpu_s,intf_mb_s")
+	for _, row := range r.Rows {
+		fmt.Fprintf(w, "%s,%g,%g,%g\n", row.Mechanism, row.VictimMean, row.IntfCPU, row.IntfMBs)
+	}
+	return nil
+}
+
+// AblMech runs the 2MB interference scenario unthrottled, CPU-capped at 3%,
+// and NIC-limited to 30 MB/s.
+func AblMech(o Options) (*AblMechResult, error) {
+	o = o.WithDefaults()
+	res := &AblMechResult{}
+	run := func(name string, prep func(*Scenario)) error {
+		s, err := Build(ScenarioConfig{IntfBuffer: IntfBuffer})
+		if err != nil {
+			return err
+		}
+		prep(s)
+		s.RunMeasured(o)
+		bytes := float64(s.Intf.Server.Stats().Served) * float64(IntfBuffer)
+		res.Rows = append(res.Rows, AblMechRow{
+			Mechanism:  name,
+			VictimMean: s.RepStats().Total.Mean(),
+			IntfCPU:    s.Intf.ServerVM.Dom.CPUTime().Seconds(),
+			IntfMBs:    bytes / o.Duration.Seconds() / 1e6,
+		})
+		return nil
+	}
+	if err := run("none", func(*Scenario) {}); err != nil {
+		return nil, err
+	}
+	if err := run("cpu-cap-3", func(s *Scenario) { s.Intf.ServerVM.Dom.SetCap(3) }); err != nil {
+		return nil, err
+	}
+	if err := run("nic-30MBps", func(s *Scenario) { s.Intf.ServerQP.SetRateLimit(30e6) }); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// ---------------------------------------------------------------------------
+// abl-events: busy-polling vs event-driven completions under a CPU cap.
+// ---------------------------------------------------------------------------
+
+// AblEventsRow is one completion mode's outcome at one cap.
+type AblEventsRow struct {
+	Mode    string
+	Cap     int
+	Mean    float64
+	ReqPerS float64
+}
+
+// AblEventsResult compares completion modes across caps.
+type AblEventsResult struct{ Rows []AblEventsRow }
+
+// Title implements Result.
+func (r *AblEventsResult) Title() string {
+	return "Ablation: busy-polling vs event-driven completions under CPU caps"
+}
+
+// WriteText implements Result.
+func (r *AblEventsResult) WriteText(w io.Writer) error {
+	fmt.Fprintf(w, "%s\n\n%-10s %-6s %12s %12s\n", r.Title(), "mode", "cap%", "latency(µs)", "req/s")
+	for _, row := range r.Rows {
+		cap := fmt.Sprintf("%d", row.Cap)
+		if row.Cap == 0 {
+			cap = "-"
+		}
+		fmt.Fprintf(w, "%-10s %-6s %12.1f %12.0f\n", row.Mode, cap, row.Mean, row.ReqPerS)
+	}
+	return nil
+}
+
+// WriteCSV implements Result.
+func (r *AblEventsResult) WriteCSV(w io.Writer) error {
+	fmt.Fprintln(w, "mode,cap_pct,latency_us,req_per_s")
+	for _, row := range r.Rows {
+		fmt.Fprintf(w, "%s,%d,%g,%g\n", row.Mode, row.Cap, row.Mean, row.ReqPerS)
+	}
+	return nil
+}
+
+// AblEvents sweeps caps {0, 25, 10} over the two completion modes of a
+// pipelined 64KB server.
+func AblEvents(o Options) (*AblEventsResult, error) {
+	o = o.WithDefaults()
+	res := &AblEventsResult{}
+	for _, mode := range []bool{false, true} {
+		for _, cap := range []int{0, 25, 10} {
+			tb := cluster.New(cluster.Config{})
+			hostA, hostB := tb.AddHost(1), tb.AddHost(2)
+			app, err := tb.NewApp("app", hostA, hostB,
+				benchex.ServerConfig{BufferSize: 64 << 10, EventDriven: mode},
+				benchex.ClientConfig{BufferSize: 64 << 10, Window: 4})
+			if err != nil {
+				return nil, err
+			}
+			if cap > 0 {
+				app.ServerVM.Dom.SetCap(cap)
+			}
+			app.Start()
+			tb.Eng.RunUntil(o.Duration)
+			st := app.Server.Stats()
+			name := "polling"
+			if mode {
+				name = "events"
+			}
+			res.Rows = append(res.Rows, AblEventsRow{
+				Mode: name, Cap: cap, Mean: st.Total.Mean(),
+				ReqPerS: float64(st.Served) / o.Duration.Seconds(),
+			})
+			tb.Eng.Shutdown()
+		}
+	}
+	return res, nil
+}
+
+// ---------------------------------------------------------------------------
+// abl-capacity: consolidation density within an SLA.
+// ---------------------------------------------------------------------------
+
+// AblCapacityRow is the worst latency at a given density.
+type AblCapacityRow struct {
+	Apps      int
+	WorstMean float64
+	WithinSLA bool
+}
+
+// AblCapacityResult is the paper's motivating consolidation question made
+// quantitative: how many latency-sensitive apps fit per host?
+type AblCapacityResult struct {
+	SLA  float64
+	Rows []AblCapacityRow
+}
+
+// Title implements Result.
+func (r *AblCapacityResult) Title() string {
+	return "Ablation: consolidation density of latency-sensitive applications"
+}
+
+// WriteText implements Result.
+func (r *AblCapacityResult) WriteText(w io.Writer) error {
+	fmt.Fprintf(w, "%s (SLA %.0f µs)\n\n%-6s %14s %10s\n", r.Title(), r.SLA, "apps", "worst(µs)", "in SLA")
+	for _, row := range r.Rows {
+		fmt.Fprintf(w, "%-6d %14.1f %10v\n", row.Apps, row.WorstMean, row.WithinSLA)
+	}
+	return nil
+}
+
+// WriteCSV implements Result.
+func (r *AblCapacityResult) WriteCSV(w io.Writer) error {
+	fmt.Fprintln(w, "apps,worst_mean_us,within_sla")
+	for _, row := range r.Rows {
+		fmt.Fprintf(w, "%d,%g,%v\n", row.Apps, row.WorstMean, row.WithinSLA)
+	}
+	return nil
+}
+
+// AblCapacity packs 1..6 identical 64KB apps onto host A and reports the
+// worst per-app mean latency at each density.
+func AblCapacity(o Options) (*AblCapacityResult, error) {
+	o = o.WithDefaults()
+	res := &AblCapacityResult{SLA: 233.5 * 1.25}
+	for n := 1; n <= 6; n++ {
+		s, err := Build(ScenarioConfig{Reporters: n})
+		if err != nil {
+			return nil, err
+		}
+		s.RunMeasured(o)
+		worst := 0.0
+		for _, app := range s.Reporters {
+			if m := app.Server.Stats().Total.Mean(); m > worst {
+				worst = m
+			}
+		}
+		res.Rows = append(res.Rows, AblCapacityRow{Apps: n, WorstMean: worst, WithinSLA: worst <= res.SLA})
+	}
+	return res, nil
+}

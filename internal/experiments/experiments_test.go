@@ -1,0 +1,399 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"resex/internal/sim"
+)
+
+// quick returns small-scale options: enough virtual time for stable shapes,
+// small enough to keep the test suite fast.
+func quick() Options {
+	return Options{Duration: 250 * sim.Millisecond, Warmup: 50 * sim.Millisecond}
+}
+
+func renderBoth(t *testing.T, r Result) (string, string) {
+	t.Helper()
+	var txt, csv strings.Builder
+	if err := r.WriteText(&txt); err != nil {
+		t.Fatalf("WriteText: %v", err)
+	}
+	if err := r.WriteCSV(&csv); err != nil {
+		t.Fatalf("WriteCSV: %v", err)
+	}
+	if txt.Len() == 0 || csv.Len() == 0 {
+		t.Fatal("empty rendering")
+	}
+	return txt.String(), csv.String()
+}
+
+func TestFig1Shape(t *testing.T) {
+	r, err := Fig1(quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Normal: tight around ~233µs. Interfered: shifted and spread.
+	if r.NormalStd > 10 {
+		t.Errorf("normal std %.1f, want tight distribution", r.NormalStd)
+	}
+	if r.InterferedMean < r.NormalMean*1.2 {
+		t.Errorf("interfered mean %.1f not well above normal %.1f", r.InterferedMean, r.NormalMean)
+	}
+	if r.InterferedStd < 5*r.NormalStd {
+		t.Errorf("interfered std %.1f vs normal %.1f: no spread", r.InterferedStd, r.NormalStd)
+	}
+	if r.Normal.Count() == 0 || r.Interfered.Count() == 0 {
+		t.Error("empty histograms")
+	}
+	txt, csv := renderBoth(t, r)
+	if !strings.Contains(txt, "Normal server") || !strings.Contains(csv, "latency_us") {
+		t.Error("rendering content")
+	}
+}
+
+func TestFig2Shape(t *testing.T) {
+	r, err := Fig2(quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 6 {
+		t.Fatalf("rows = %d", len(r.Rows))
+	}
+	byKey := map[[2]bool]map[int]Fig2Row{}
+	for _, row := range r.Rows {
+		k := [2]bool{row.Loaded, false}
+		if byKey[k] == nil {
+			byKey[k] = map[int]Fig2Row{}
+		}
+		byKey[k][row.Servers] = row
+	}
+	for _, row := range r.Rows {
+		// CTime roughly constant everywhere (~92µs).
+		if row.CTime < 85 || row.CTime > 105 {
+			t.Errorf("CTime %.1f at n=%d loaded=%v", row.CTime, row.Servers, row.Loaded)
+		}
+		// Loaded rows dominate their unloaded counterparts in W and P.
+		if row.Loaded {
+			base := byKey[[2]bool{false, false}][row.Servers]
+			if row.WTime <= base.WTime || row.PTime <= base.PTime {
+				t.Errorf("n=%d: load did not raise W/P (%.1f/%.1f vs %.1f/%.1f)",
+					row.Servers, row.WTime, row.PTime, base.WTime, base.PTime)
+			}
+		}
+	}
+	// More collocated servers never *reduces* latency. (Identical closed
+	// loops can settle into collision-free anti-phase schedules, so equal
+	// totals are legitimate; the paper's unloaded bars also sit within
+	// error bars of each other.)
+	u := byKey[[2]bool{false, false}]
+	if u[3].Total() < u[1].Total()*0.98 {
+		t.Errorf("3-server total %.1f below 1-server %.1f", u[3].Total(), u[1].Total())
+	}
+	renderBoth(t, r)
+}
+
+func TestFig3Shape(t *testing.T) {
+	r, err := Fig3(quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 6 {
+		t.Fatalf("rows = %d", len(r.Rows))
+	}
+	// The paper's claim: latency roughly flat across ratios when cap=100/BR.
+	lo, hi := r.Rows[0].Total(), r.Rows[0].Total()
+	for _, row := range r.Rows {
+		tot := row.Total()
+		if tot < lo {
+			lo = tot
+		}
+		if tot > hi {
+			hi = tot
+		}
+	}
+	if hi > lo*1.35 {
+		t.Errorf("ratio-capped latencies spread %.1f–%.1f µs (>35%%), want roughly equal", lo, hi)
+	}
+	// And all far below the uncapped interference level (~346µs).
+	if hi > 310 {
+		t.Errorf("capped latency %.1f near uncapped level", hi)
+	}
+	renderBoth(t, r)
+}
+
+func TestFig4Shape(t *testing.T) {
+	r, err := Fig4(quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 12 {
+		t.Fatalf("rows = %d", len(r.Rows))
+	}
+	// Monotone non-increasing total latency as the cap tightens (rows are
+	// ordered 100..3 then Base), within jitter tolerance.
+	for i := 1; i < len(r.Rows); i++ {
+		if r.Rows[i].Total() > r.Rows[i-1].Total()*1.04 {
+			t.Errorf("latency rose from cap %d (%.1f) to cap %d (%.1f)",
+				r.Rows[i-1].Cap, r.Rows[i-1].Total(), r.Rows[i].Cap, r.Rows[i].Total())
+		}
+	}
+	base := r.Rows[len(r.Rows)-1].Total()
+	cap3 := r.Rows[len(r.Rows)-2].Total()
+	if cap3 > base*1.1 {
+		t.Errorf("cap=3 latency %.1f not near base %.1f (paper: buffer-ratio cap restores base)", cap3, base)
+	}
+	uncapped := r.Rows[0].Total()
+	if uncapped < base*1.3 {
+		t.Errorf("uncapped %.1f vs base %.1f: interference too weak", uncapped, base)
+	}
+	renderBoth(t, r)
+}
+
+func TestFig5FreeMarketShape(t *testing.T) {
+	r, err := Fig5(Options{Duration: 1200 * sim.Millisecond, Warmup: 50 * sim.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// FreeMarket sits between Base and Interfered.
+	if r.PolicyMean >= r.IntfMean {
+		t.Errorf("FreeMarket %.1f not below interfered %.1f", r.PolicyMean, r.IntfMean)
+	}
+	if r.PolicyMean <= r.BaseMean {
+		t.Errorf("FreeMarket %.1f at/below base %.1f — too good for a latency-blind policy", r.PolicyMean, r.BaseMean)
+	}
+	// The interferer's cap was engaged at some point (Reso exhaustion).
+	if r.IntfCap.YSummary().Min() >= 100 {
+		t.Error("FreeMarket never capped the interferer")
+	}
+	if r.Latency.Len() == 0 || r.IntfResos.Len() == 0 {
+		t.Error("missing series")
+	}
+	renderBoth(t, r)
+}
+
+func TestFig6Shape(t *testing.T) {
+	r, err := Fig6(Options{Duration: 1200 * sim.Millisecond, Warmup: 50 * sim.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.IntfMinFraction > 0.10 {
+		t.Errorf("interferer balance bottomed at %.0f%%, never depleted", r.IntfMinFraction*100)
+	}
+	if !r.IntfCapEngaged {
+		t.Error("rated capping never engaged")
+	}
+	// The 64KB VM keeps a healthy balance and is never capped.
+	if r.RepMinFraction < 0.10 {
+		t.Errorf("reporting VM balance bottomed at %.0f%%", r.RepMinFraction*100)
+	}
+	if r.Timeline.RepCap.YSummary().Min() < 100 {
+		t.Error("reporting VM was capped")
+	}
+	renderBoth(t, r)
+}
+
+func TestFig7IOSharesShape(t *testing.T) {
+	r, err := Fig7(Options{Duration: 500 * sim.Millisecond, Warmup: 50 * sim.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.IntfMean < r.BaseMean*1.3 {
+		t.Fatalf("interference too weak: %.1f vs %.1f", r.IntfMean, r.BaseMean)
+	}
+	// Paper's headline: IOShares achieves near-base latency; at least 30%
+	// of the interference is recovered (we typically see >80%).
+	rec := (r.IntfMean - r.PolicyMean) / (r.IntfMean - r.BaseMean)
+	if rec < 0.3 {
+		t.Errorf("IOShares recovered %.0f%% of interference", rec*100)
+	}
+	// IOShares beats FreeMarket's latency on the same workload.
+	fm, err := Fig5(Options{Duration: 500 * sim.Millisecond, Warmup: 50 * sim.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.PolicyMean >= fm.PolicyMean {
+		t.Errorf("IOShares %.1f not below FreeMarket %.1f", r.PolicyMean, fm.PolicyMean)
+	}
+	renderBoth(t, r)
+}
+
+func TestFig8Shape(t *testing.T) {
+	r, err := Fig8(quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 5 {
+		t.Fatalf("rows = %d", len(r.Rows))
+	}
+	base := r.Rows[0].Mean
+	for _, row := range r.Rows[1:] {
+		// All non-interference configurations stay near base (paper: the
+		// values are almost equal to Base).
+		if row.Mean > base*1.25 {
+			t.Errorf("%s latency %.1f strays from base %.1f", row.Config, row.Mean, base)
+		}
+	}
+	renderBoth(t, r)
+}
+
+func TestFig9Shape(t *testing.T) {
+	r, err := Fig9(Options{Duration: 400 * sim.Millisecond, Warmup: 50 * sim.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 5 {
+		t.Fatalf("rows = %d", len(r.Rows))
+	}
+	for _, row := range r.Rows {
+		// IOShares tracks base closely at every buffer size...
+		if row.IOShares > row.Base*1.30 {
+			t.Errorf("%s: IOShares %.1f vs base %.1f", byteSize(row.Buffer), row.IOShares, row.Base)
+		}
+		// ...and is never meaningfully worse than FreeMarket.
+		if row.IOShares > row.FreeMarket*1.1 {
+			t.Errorf("%s: IOShares %.1f above FreeMarket %.1f", byteSize(row.Buffer), row.IOShares, row.FreeMarket)
+		}
+	}
+	// For large buffers FreeMarket is clearly above IOShares (the paper's
+	// separation).
+	last := r.Rows[len(r.Rows)-1]
+	if last.FreeMarket < last.IOShares {
+		t.Errorf("1MB: FreeMarket %.1f below IOShares %.1f", last.FreeMarket, last.IOShares)
+	}
+	renderBoth(t, r)
+}
+
+func TestRegistry(t *testing.T) {
+	ids := IDs()
+	if len(ids) != 14 { // 9 figures + 4 ablations + softrt extension
+		t.Fatalf("IDs = %v", ids)
+	}
+	for _, id := range ids {
+		e, err := Lookup(id)
+		if err != nil || e.Run == nil || e.Title == "" {
+			t.Errorf("entry %q broken: %v", id, err)
+		}
+	}
+	if _, err := Lookup("fig99"); err == nil {
+		t.Error("unknown id accepted")
+	}
+}
+
+func TestAblArbShape(t *testing.T) {
+	r, err := AblArb(quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 2 {
+		t.Fatalf("rows = %d", len(r.Rows))
+	}
+	rr, fifo := r.Rows[0], r.Rows[1]
+	if fifo.Mean < 2*rr.Mean {
+		t.Errorf("FIFO %.1f not well above RR %.1f", fifo.Mean, rr.Mean)
+	}
+	if rr.P99 < rr.Mean {
+		t.Errorf("p99 %.1f below mean %.1f", rr.P99, rr.Mean)
+	}
+	renderBoth(t, r)
+}
+
+func TestAblMechShape(t *testing.T) {
+	r, err := AblMech(quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 3 {
+		t.Fatalf("rows = %d", len(r.Rows))
+	}
+	none, cap, nic := r.Rows[0], r.Rows[1], r.Rows[2]
+	// Both mechanisms restore the victim.
+	if cap.VictimMean > none.VictimMean*0.85 || nic.VictimMean > none.VictimMean*0.85 {
+		t.Errorf("victim: none %.1f, cap %.1f, nic %.1f", none.VictimMean, cap.VictimMean, nic.VictimMean)
+	}
+	// The NIC limit leaves the interferer far more CPU than the CPU cap.
+	if nic.IntfCPU < 5*cap.IntfCPU {
+		t.Errorf("interferer CPU: nic %.4fs vs cap %.4fs — expected a large gap", nic.IntfCPU, cap.IntfCPU)
+	}
+	renderBoth(t, r)
+}
+
+func TestAblEventsShape(t *testing.T) {
+	r, err := AblEvents(quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 6 {
+		t.Fatalf("rows = %d", len(r.Rows))
+	}
+	get := func(mode string, cap int) AblEventsRow {
+		for _, row := range r.Rows {
+			if row.Mode == mode && row.Cap == cap {
+				return row
+			}
+		}
+		t.Fatalf("missing %s/%d", mode, cap)
+		return AblEventsRow{}
+	}
+	// Under the tight cap, events beat polling on throughput.
+	if get("events", 10).ReqPerS < 1.2*get("polling", 10).ReqPerS {
+		t.Errorf("events %f vs polling %f at cap 10",
+			get("events", 10).ReqPerS, get("polling", 10).ReqPerS)
+	}
+	// Uncapped, polling has lower latency (no interrupt cost in the path).
+	if get("polling", 0).Mean > get("events", 0).Mean {
+		t.Errorf("uncapped polling %.1f above events %.1f",
+			get("polling", 0).Mean, get("events", 0).Mean)
+	}
+	renderBoth(t, r)
+}
+
+func TestAblCapacityShape(t *testing.T) {
+	r, err := AblCapacity(quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 6 {
+		t.Fatalf("rows = %d", len(r.Rows))
+	}
+	if !r.Rows[0].WithinSLA {
+		t.Error("a single app must be within SLA")
+	}
+	// Worst latency is non-decreasing with density (tolerance for
+	// scheduling phase effects).
+	for i := 1; i < len(r.Rows); i++ {
+		if r.Rows[i].WorstMean < r.Rows[i-1].WorstMean*0.97 {
+			t.Errorf("density %d worst %.1f below density %d worst %.1f",
+				r.Rows[i].Apps, r.Rows[i].WorstMean, r.Rows[i-1].Apps, r.Rows[i-1].WorstMean)
+		}
+	}
+	renderBoth(t, r)
+}
+
+func TestSoftRTShape(t *testing.T) {
+	r, err := SoftRT(Options{Duration: 500 * sim.Millisecond, Warmup: 50 * sim.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 3 {
+		t.Fatalf("rows = %d", len(r.Rows))
+	}
+	alone, bulk, managed := r.Rows[0], r.Rows[1], r.Rows[2]
+	if alone.MissRate != 0 {
+		t.Errorf("alone miss rate %.2f", alone.MissRate)
+	}
+	if bulk.MissRate < 0.2 {
+		t.Errorf("bulk miss rate %.2f too low", bulk.MissRate)
+	}
+	if managed.MissRate > bulk.MissRate/2 {
+		t.Errorf("IOShares miss rate %.2f vs bulk %.2f", managed.MissRate, bulk.MissRate)
+	}
+	renderBoth(t, r)
+}
+
+func TestOptionsDefaults(t *testing.T) {
+	o := Options{}.WithDefaults()
+	if o.Duration != 2*sim.Second || o.Warmup != 100*sim.Millisecond {
+		t.Errorf("defaults: %+v", o)
+	}
+}

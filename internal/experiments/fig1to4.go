@@ -1,0 +1,317 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"resex/internal/stats"
+)
+
+// ---------------------------------------------------------------------------
+// Figure 1: distribution of request latencies, Normal vs Interfered server.
+// ---------------------------------------------------------------------------
+
+// Fig1Result holds the two latency histograms.
+type Fig1Result struct {
+	Normal                     *stats.Histogram
+	Interfered                 *stats.Histogram
+	NormalMean, InterferedMean float64
+	NormalStd, InterferedStd   float64
+}
+
+// Title implements Result.
+func (r *Fig1Result) Title() string {
+	return "Figure 1: Distribution of request latencies, Normal vs Interfered server"
+}
+
+// WriteText implements Result.
+func (r *Fig1Result) WriteText(w io.Writer) error {
+	fmt.Fprintf(w, "%s\n\n", r.Title())
+	fmt.Fprintf(w, "Normal server:     mean %.1f µs, std %.1f µs, mode %.0f µs\n",
+		r.NormalMean, r.NormalStd, r.Normal.Mode())
+	fmt.Fprint(w, r.Normal.Render(50))
+	fmt.Fprintf(w, "\nInterfered server: mean %.1f µs, std %.1f µs, mode %.0f µs\n",
+		r.InterferedMean, r.InterferedStd, r.Interfered.Mode())
+	fmt.Fprint(w, r.Interfered.Render(50))
+	return nil
+}
+
+// WriteCSV implements Result.
+func (r *Fig1Result) WriteCSV(w io.Writer) error {
+	fmt.Fprintln(w, "latency_us,normal_count,interfered_count")
+	for i := 0; i < r.Normal.Buckets(); i++ {
+		fmt.Fprintf(w, "%g,%d,%d\n", r.Normal.BucketLo(i), r.Normal.BucketCount(i), r.Interfered.BucketCount(i))
+	}
+	return nil
+}
+
+// Fig1 runs the motivation experiment: one 64KB server measured with and
+// without a 2MB interference generator; no ResEx.
+func Fig1(o Options) (*Fig1Result, error) {
+	o = o.WithDefaults()
+	res := &Fig1Result{
+		Normal:     stats.NewHistogram(100, 500, 80),
+		Interfered: stats.NewHistogram(100, 500, 80),
+	}
+	for _, interfered := range []bool{false, true} {
+		cfg := ScenarioConfig{Timeline: true}
+		if interfered {
+			cfg.IntfBuffer = IntfBuffer
+		}
+		s, err := Build(cfg)
+		if err != nil {
+			return nil, err
+		}
+		s.RunMeasured(o)
+		st := s.RepStats()
+		h := res.Normal
+		if interfered {
+			h = res.Interfered
+			res.InterferedMean, res.InterferedStd = st.Total.Mean(), st.Total.StdDev()
+		} else {
+			res.NormalMean, res.NormalStd = st.Total.Mean(), st.Total.StdDev()
+		}
+		for _, rec := range st.Timeline {
+			h.Add(rec.Total().Microseconds())
+		}
+	}
+	return res, nil
+}
+
+// ---------------------------------------------------------------------------
+// Figure 2: CTime/WTime/PTime vs number of servers, with and without load.
+// ---------------------------------------------------------------------------
+
+// Fig2Row is one bar group: n servers, with or without interfering load.
+type Fig2Row struct {
+	Servers             int
+	Loaded              bool
+	CTime, WTime, PTime float64 // means, µs
+	CStd, WStd, PStd    float64
+}
+
+// Total returns the stacked height.
+func (r Fig2Row) Total() float64 { return r.CTime + r.WTime + r.PTime }
+
+// Fig2Result holds all rows.
+type Fig2Result struct{ Rows []Fig2Row }
+
+// Title implements Result.
+func (r *Fig2Result) Title() string {
+	return "Figure 2: Server latency components vs number of servers, ± interfering load"
+}
+
+// WriteText implements Result.
+func (r *Fig2Result) WriteText(w io.Writer) error {
+	fmt.Fprintf(w, "%s\n\n", r.Title())
+	fmt.Fprintf(w, "%-8s %-6s %12s %12s %12s %10s\n", "servers", "load", "CTime(µs)", "WTime(µs)", "PTime(µs)", "total")
+	for _, row := range r.Rows {
+		load := "-"
+		if row.Loaded {
+			load = "yes"
+		}
+		fmt.Fprintf(w, "%-8d %-6s %7.1f±%-4.0f %7.1f±%-4.0f %7.1f±%-4.0f %10.1f\n",
+			row.Servers, load, row.CTime, row.CStd, row.WTime, row.WStd, row.PTime, row.PStd, row.Total())
+	}
+	return nil
+}
+
+// WriteCSV implements Result.
+func (r *Fig2Result) WriteCSV(w io.Writer) error {
+	fmt.Fprintln(w, "servers,loaded,ctime_us,ctime_std,wtime_us,wtime_std,ptime_us,ptime_std")
+	for _, row := range r.Rows {
+		fmt.Fprintf(w, "%d,%v,%g,%g,%g,%g,%g,%g\n",
+			row.Servers, row.Loaded, row.CTime, row.CStd, row.WTime, row.WStd, row.PTime, row.PStd)
+	}
+	return nil
+}
+
+// Fig2 sweeps 1–3 collocated 64KB servers, each with its own client,
+// with and without an added interference generator.
+func Fig2(o Options) (*Fig2Result, error) {
+	o = o.WithDefaults()
+	res := &Fig2Result{}
+	for _, n := range []int{1, 2, 3} {
+		for _, loaded := range []bool{false, true} {
+			cfg := ScenarioConfig{Reporters: n}
+			if loaded {
+				cfg.IntfBuffer = IntfBuffer
+			}
+			s, err := Build(cfg)
+			if err != nil {
+				return nil, err
+			}
+			s.RunMeasured(o)
+			// Aggregate across the n reporting servers.
+			var c, wt, p stats.Summary
+			for _, app := range s.Reporters {
+				st := app.Server.Stats()
+				c.Merge(&st.C)
+				wt.Merge(&st.W)
+				p.Merge(&st.P)
+			}
+			res.Rows = append(res.Rows, Fig2Row{
+				Servers: n, Loaded: loaded,
+				CTime: c.Mean(), CStd: c.StdDev(),
+				WTime: wt.Mean(), WStd: wt.StdDev(),
+				PTime: p.Mean(), PStd: p.StdDev(),
+			})
+		}
+	}
+	return res, nil
+}
+
+// ---------------------------------------------------------------------------
+// Figure 3: latency with interferer capped at 100/BufferRatio, per buffer.
+// ---------------------------------------------------------------------------
+
+// Fig3Row is one bar: interferer buffer size with its ratio-derived cap.
+type Fig3Row struct {
+	BufferRatio         int
+	IntfBuffer          int
+	Cap                 int
+	CTime, WTime, PTime float64
+}
+
+// Total returns the stacked height.
+func (r Fig3Row) Total() float64 { return r.CTime + r.WTime + r.PTime }
+
+// Fig3Result holds the sweep.
+type Fig3Result struct{ Rows []Fig3Row }
+
+// Title implements Result.
+func (r *Fig3Result) Title() string {
+	return "Figure 3: Reporting-server latency with interferer capped at 100/BufferRatio"
+}
+
+// WriteText implements Result.
+func (r *Fig3Result) WriteText(w io.Writer) error {
+	fmt.Fprintf(w, "%s\n\n", r.Title())
+	fmt.Fprintf(w, "%-14s %-5s %10s %10s %10s %10s\n", "ratio(buffer)", "cap%", "CTime", "WTime", "PTime", "total(µs)")
+	for _, row := range r.Rows {
+		fmt.Fprintf(w, "%3d(%-8s) %-5d %10.1f %10.1f %10.1f %10.1f\n",
+			row.BufferRatio, byteSize(row.IntfBuffer), row.Cap, row.CTime, row.WTime, row.PTime, row.Total())
+	}
+	return nil
+}
+
+// WriteCSV implements Result.
+func (r *Fig3Result) WriteCSV(w io.Writer) error {
+	fmt.Fprintln(w, "buffer_ratio,intf_buffer,cap_pct,ctime_us,wtime_us,ptime_us")
+	for _, row := range r.Rows {
+		fmt.Fprintf(w, "%d,%d,%d,%g,%g,%g\n", row.BufferRatio, row.IntfBuffer, row.Cap, row.CTime, row.WTime, row.PTime)
+	}
+	return nil
+}
+
+// Fig3 sweeps the interferer buffer from 2MB down to 64KB, statically
+// capping it at 100/BufferRatio (the relationship §V-B establishes).
+func Fig3(o Options) (*Fig3Result, error) {
+	o = o.WithDefaults()
+	res := &Fig3Result{}
+	for _, buf := range []int{2 << 20, 1 << 20, 512 << 10, 256 << 10, 128 << 10, 64 << 10} {
+		ratio := buf / BaseBuffer
+		cap := 100 / ratio
+		cfg := ScenarioConfig{IntfBuffer: buf}
+		if cap < 100 {
+			cfg.IntfCap = cap
+		}
+		s, err := Build(cfg)
+		if err != nil {
+			return nil, err
+		}
+		s.RunMeasured(o)
+		st := s.RepStats()
+		res.Rows = append(res.Rows, Fig3Row{
+			BufferRatio: ratio, IntfBuffer: buf, Cap: cap,
+			CTime: st.C.Mean(), WTime: st.W.Mean(), PTime: st.P.Mean(),
+		})
+	}
+	return res, nil
+}
+
+// ---------------------------------------------------------------------------
+// Figure 4: latency vs CPU cap for the 2MB interferer.
+// ---------------------------------------------------------------------------
+
+// Fig4Row is one bar of the cap sweep. Cap 0 means Base (no interferer).
+type Fig4Row struct {
+	Cap                 int // 0 = Base
+	CTime, WTime, PTime float64
+}
+
+// Total returns the stacked height.
+func (r Fig4Row) Total() float64 { return r.CTime + r.WTime + r.PTime }
+
+// Fig4Result holds the sweep.
+type Fig4Result struct{ Rows []Fig4Row }
+
+// Title implements Result.
+func (r *Fig4Result) Title() string {
+	return "Figure 4: Reporting-server latency as the 2MB interferer's CPU cap decreases"
+}
+
+// WriteText implements Result.
+func (r *Fig4Result) WriteText(w io.Writer) error {
+	fmt.Fprintf(w, "%s\n\n", r.Title())
+	fmt.Fprintf(w, "%-8s %10s %10s %10s %10s\n", "cap%", "CTime", "WTime", "PTime", "total(µs)")
+	for _, row := range r.Rows {
+		label := fmt.Sprintf("%d", row.Cap)
+		if row.Cap == 0 {
+			label = "Base"
+		}
+		fmt.Fprintf(w, "%-8s %10.1f %10.1f %10.1f %10.1f\n", label, row.CTime, row.WTime, row.PTime, row.Total())
+	}
+	return nil
+}
+
+// WriteCSV implements Result.
+func (r *Fig4Result) WriteCSV(w io.Writer) error {
+	fmt.Fprintln(w, "cap_pct,ctime_us,wtime_us,ptime_us")
+	for _, row := range r.Rows {
+		fmt.Fprintf(w, "%d,%g,%g,%g\n", row.Cap, row.CTime, row.WTime, row.PTime)
+	}
+	return nil
+}
+
+// Fig4 sweeps the interferer's static cap 100,90,…,10,3 and adds the Base
+// (no interferer) reference.
+func Fig4(o Options) (*Fig4Result, error) {
+	o = o.WithDefaults()
+	res := &Fig4Result{}
+	caps := []int{100, 90, 80, 70, 60, 50, 40, 30, 20, 10, 3}
+	for _, c := range caps {
+		cfg := ScenarioConfig{IntfBuffer: IntfBuffer}
+		if c < 100 {
+			cfg.IntfCap = c
+		}
+		s, err := Build(cfg)
+		if err != nil {
+			return nil, err
+		}
+		s.RunMeasured(o)
+		st := s.RepStats()
+		res.Rows = append(res.Rows, Fig4Row{Cap: c, CTime: st.C.Mean(), WTime: st.W.Mean(), PTime: st.P.Mean()})
+	}
+	// Base.
+	s, err := Build(ScenarioConfig{})
+	if err != nil {
+		return nil, err
+	}
+	s.RunMeasured(o)
+	st := s.RepStats()
+	res.Rows = append(res.Rows, Fig4Row{Cap: 0, CTime: st.C.Mean(), WTime: st.W.Mean(), PTime: st.P.Mean()})
+	return res, nil
+}
+
+// byteSize renders a buffer size like the paper's axis labels.
+func byteSize(n int) string {
+	switch {
+	case n >= 1<<20 && n%(1<<20) == 0:
+		return fmt.Sprintf("%dMB", n>>20)
+	case n >= 1<<10:
+		return fmt.Sprintf("%dKB", n>>10)
+	default:
+		return fmt.Sprintf("%dB", n)
+	}
+}

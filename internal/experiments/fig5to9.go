@@ -1,0 +1,392 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"resex/internal/resex"
+	"resex/internal/resos"
+	"resex/internal/sim"
+	"resex/internal/stats"
+)
+
+// ---------------------------------------------------------------------------
+// Figures 5 & 7: policy timelines (latency per iteration + interferer cap).
+// ---------------------------------------------------------------------------
+
+// TimelineResult reproduces the SLA-performance timelines: the reporting
+// VM's latency per iteration for Base / Interfered / Policy runs, plus the
+// interfering VM's CPU cap and both VMs' Reso balances per interval under
+// the policy.
+type TimelineResult struct {
+	PolicyName string
+	Figure     int
+
+	BaseMean, IntfMean, PolicyMean float64
+	BaseStd, IntfStd, PolicyStd    float64
+
+	// Latency is per-iteration latency under the policy (µs vs iteration).
+	Latency *stats.Series
+	// IntfCap is the interfering VM's cap over time (percent vs interval).
+	IntfCap *stats.Series
+	// RepResos and IntfResos are Reso balances per interval (Figure 6).
+	RepResos, IntfResos *stats.Series
+	// RepCap is the reporting VM's cap per interval (stays at 100).
+	RepCap *stats.Series
+}
+
+// Title implements Result.
+func (r *TimelineResult) Title() string {
+	return fmt.Sprintf("Figure %d: %s SLA performance (latency timeline + caps)", r.Figure, r.PolicyName)
+}
+
+// WriteText implements Result.
+func (r *TimelineResult) WriteText(w io.Writer) error {
+	fmt.Fprintf(w, "%s\n\n", r.Title())
+	fmt.Fprintf(w, "Base latency 64KB VM:        %8.1f µs (std %.1f)\n", r.BaseMean, r.BaseStd)
+	fmt.Fprintf(w, "Interfered latency 64KB VM:  %8.1f µs (std %.1f)\n", r.IntfMean, r.IntfStd)
+	fmt.Fprintf(w, "%s latency 64KB VM:  %8.1f µs (std %.1f)\n", r.PolicyName, r.PolicyMean, r.PolicyStd)
+	if r.IntfMean > r.BaseMean {
+		rec := (r.IntfMean - r.PolicyMean) / (r.IntfMean - r.BaseMean) * 100
+		fmt.Fprintf(w, "Interference recovered:      %8.0f %%\n", rec)
+	}
+	fmt.Fprintf(w, "\nLatency vs iteration (downsampled to 20 buckets, µs):\n")
+	for _, p := range r.Latency.Downsample(20).Points() {
+		fmt.Fprintf(w, "  iter %7.0f: %7.1f\n", p.X, p.Y)
+	}
+	if last, ok := r.IntfCap.Last(); ok {
+		caps := r.IntfCap.YSummary()
+		fmt.Fprintf(w, "\n2MB VM cap: min %.0f%%, mean %.0f%%, final %.0f%%\n", caps.Min(), caps.Mean(), last.Y)
+	}
+	return nil
+}
+
+// WriteCSV implements Result.
+func (r *TimelineResult) WriteCSV(w io.Writer) error {
+	set := stats.NewSeriesSet(r.Title())
+	lat := set.Add("latency_us")
+	for _, p := range r.Latency.Downsample(1000).Points() {
+		lat.Add(p.X, p.Y)
+	}
+	cap := set.Add("intf_cap_pct")
+	for _, p := range r.IntfCap.Downsample(1000).Points() {
+		cap.Add(p.X, p.Y)
+	}
+	return set.WriteCSV(w)
+}
+
+// runTimeline executes the Base / Interfered / Policy triple for a policy
+// constructor and collects the timeline series.
+func runTimeline(o Options, figure int, mkPolicy func() resex.Policy) (*TimelineResult, error) {
+	o = o.WithDefaults()
+	o.Timeline = true
+	res := &TimelineResult{Figure: figure}
+
+	// Base.
+	s, err := Build(ScenarioConfig{Timeline: true})
+	if err != nil {
+		return nil, err
+	}
+	s.RunMeasured(o)
+	st := s.RepStats()
+	res.BaseMean, res.BaseStd = st.Total.Mean(), st.Total.StdDev()
+
+	// Interfered, no ResEx.
+	s, err = Build(ScenarioConfig{Timeline: true, IntfBuffer: IntfBuffer})
+	if err != nil {
+		return nil, err
+	}
+	s.RunMeasured(o)
+	st = s.RepStats()
+	res.IntfMean, res.IntfStd = st.Total.Mean(), st.Total.StdDev()
+
+	// Policy run with observers.
+	policy := mkPolicy()
+	res.PolicyName = policy.Name()
+	s, err = Build(ScenarioConfig{
+		Timeline:   true,
+		IntfBuffer: IntfBuffer,
+		Policy:     policy,
+		SLAUs:      BaseSLAUs,
+	})
+	if err != nil {
+		return nil, err
+	}
+	res.IntfCap = stats.NewSeries("intf-cap")
+	res.RepCap = stats.NewSeries("rep-cap")
+	res.RepResos = stats.NewSeries("rep-resos")
+	res.IntfResos = stats.NewSeries("intf-resos")
+	repVM := s.Mgr.VMs()[0]
+	intfVM := s.Mgr.VM(s.Intf.ServerVM.Dom.ID())
+	s.Mgr.Observe(func(d *resex.IntervalData) {
+		x := float64(d.Index)
+		capOf := func(vm *resex.ManagedVM) float64 {
+			if c := vm.Dom.Cap(); c > 0 {
+				return float64(c)
+			}
+			return 100
+		}
+		res.IntfCap.Add(x, capOf(intfVM))
+		res.RepCap.Add(x, capOf(repVM))
+		res.RepResos.Add(x, float64(repVM.Account.Balance()))
+		res.IntfResos.Add(x, float64(intfVM.Account.Balance()))
+	})
+	s.RunMeasured(o)
+	st = s.RepStats()
+	res.PolicyMean, res.PolicyStd = st.Total.Mean(), st.Total.StdDev()
+	res.Latency = stats.NewSeries("latency")
+	for i, rec := range st.Timeline {
+		res.Latency.Add(float64(i), rec.Total().Microseconds())
+	}
+	return res, nil
+}
+
+// Fig5 reproduces the FreeMarket timeline.
+func Fig5(o Options) (*TimelineResult, error) {
+	return runTimeline(o, 5, func() resex.Policy { return resex.NewFreeMarket() })
+}
+
+// Fig7 reproduces the IOShares timeline.
+func Fig7(o Options) (*TimelineResult, error) {
+	return runTimeline(o, 7, func() resex.Policy { return resex.NewIOShares() })
+}
+
+// ---------------------------------------------------------------------------
+// Figure 6: Reso depletion and rated capping under FreeMarket.
+// ---------------------------------------------------------------------------
+
+// Fig6Result shows per-interval Reso balances and caps for both VMs under
+// FreeMarket (derived from the same run shape as Figure 5).
+type Fig6Result struct {
+	Timeline *TimelineResult
+	// Depletion summary.
+	IntfMinFraction float64 // lowest balance fraction the interferer hit
+	IntfCapEngaged  bool
+	RepMinFraction  float64
+	Allocation      float64
+}
+
+// Title implements Result.
+func (r *Fig6Result) Title() string {
+	return "Figure 6: Reso balances and rated capping during FreeMarket"
+}
+
+// WriteText implements Result.
+func (r *Fig6Result) WriteText(w io.Writer) error {
+	fmt.Fprintf(w, "%s\n\n", r.Title())
+	fmt.Fprintf(w, "Per-epoch allocation per VM: %.0f Resos\n", r.Allocation)
+	fmt.Fprintf(w, "64KB VM minimum balance:  %6.1f%% of allocation (never capped: %v)\n",
+		r.RepMinFraction*100, r.Timeline.RepCap.YSummary().Min() >= 100)
+	fmt.Fprintf(w, "2MB  VM minimum balance:  %6.1f%% of allocation (cap engaged: %v)\n",
+		r.IntfMinFraction*100, r.IntfCapEngaged)
+	fmt.Fprintf(w, "\nInterval series (downsampled, balance Resos / cap %%):\n")
+	rr := r.Timeline.RepResos.Downsample(20).Points()
+	ir := r.Timeline.IntfResos.Downsample(20).Points()
+	ic := r.Timeline.IntfCap.Downsample(20).Points()
+	fmt.Fprintf(w, "  %-10s %12s %12s %10s\n", "interval", "64KB resos", "2MB resos", "2MB cap%")
+	for i := range rr {
+		fmt.Fprintf(w, "  %-10.0f %12.0f %12.0f %10.0f\n", rr[i].X, rr[i].Y, ir[i].Y, ic[i].Y)
+	}
+	return nil
+}
+
+// WriteCSV implements Result.
+func (r *Fig6Result) WriteCSV(w io.Writer) error {
+	set := stats.NewSeriesSet(r.Title())
+	for name, s := range map[string]*stats.Series{
+		"rep_resos": r.Timeline.RepResos, "intf_resos": r.Timeline.IntfResos,
+		"rep_cap": r.Timeline.RepCap, "intf_cap": r.Timeline.IntfCap,
+	} {
+		dst := set.Add(name)
+		for _, p := range s.Points() {
+			dst.Add(p.X, p.Y)
+		}
+	}
+	return set.WriteCSV(w)
+}
+
+// Fig6 runs FreeMarket and extracts the Reso-depletion view.
+func Fig6(o Options) (*Fig6Result, error) {
+	tl, err := Fig5(o)
+	if err != nil {
+		return nil, err
+	}
+	alloc := float64(resexDefaultAllocation())
+	res := &Fig6Result{Timeline: tl, Allocation: alloc, IntfMinFraction: 1, RepMinFraction: 1}
+	for _, p := range tl.IntfResos.Points() {
+		if f := p.Y / alloc; f < res.IntfMinFraction {
+			res.IntfMinFraction = f
+		}
+	}
+	for _, p := range tl.RepResos.Points() {
+		if f := p.Y / alloc; f < res.RepMinFraction {
+			res.RepMinFraction = f
+		}
+	}
+	res.IntfCapEngaged = tl.IntfCap.YSummary().Min() < 100
+	return res, nil
+}
+
+// ---------------------------------------------------------------------------
+// Figure 8: non-interference cases.
+// ---------------------------------------------------------------------------
+
+// Fig8Row is one configuration bar.
+type Fig8Row struct {
+	Config string
+	Mean   float64
+	Std    float64
+}
+
+// Fig8Result holds all configurations.
+type Fig8Result struct{ Rows []Fig8Row }
+
+// Title implements Result.
+func (r *Fig8Result) Title() string {
+	return "Figure 8: FreeMarket and IOShares on non-interference cases"
+}
+
+// WriteText implements Result.
+func (r *Fig8Result) WriteText(w io.Writer) error {
+	fmt.Fprintf(w, "%s\n\n", r.Title())
+	fmt.Fprintf(w, "%-28s %12s %10s\n", "configuration", "latency(µs)", "std")
+	for _, row := range r.Rows {
+		fmt.Fprintf(w, "%-28s %12.1f %10.1f\n", row.Config, row.Mean, row.Std)
+	}
+	return nil
+}
+
+// WriteCSV implements Result.
+func (r *Fig8Result) WriteCSV(w io.Writer) error {
+	fmt.Fprintln(w, "configuration,latency_us,std_us")
+	for _, row := range r.Rows {
+		fmt.Fprintf(w, "%s,%g,%g\n", row.Config, row.Mean, row.Std)
+	}
+	return nil
+}
+
+// Fig8 runs the paper's five bars: Base, FreeMarket and IOShares with a
+// twin 64KB VM, and FreeMarket and IOShares with a quiet 2MB VM (paced to
+// 10 requests per epoch).
+func Fig8(o Options) (*Fig8Result, error) {
+	o = o.WithDefaults()
+	res := &Fig8Result{}
+	type caseDef struct {
+		name string
+		cfg  ScenarioConfig
+	}
+	mkFM := func() resex.Policy { return resex.NewFreeMarket() }
+	mkIOS := func() resex.Policy { return resex.NewIOShares() }
+	quiet := func(p resex.Policy) ScenarioConfig {
+		return ScenarioConfig{
+			IntfBuffer:   IntfBuffer,
+			IntfWindow:   1,
+			IntfInterval: 100 * sim.Millisecond, // 10 requests per 1 s epoch
+			Policy:       p,
+			SLAUs:        BaseSLAUs,
+		}
+	}
+	twin := func(p resex.Policy) ScenarioConfig {
+		return ScenarioConfig{
+			Reporters: 2, // twin 64KB applications
+			Policy:    p,
+			SLAUs:     BaseSLAUs,
+		}
+	}
+	cases := []caseDef{
+		{"Base-64KB", ScenarioConfig{}},
+		{"FM-64KB-64KB", twin(mkFM())},
+		{"IOS-64KB-64KB", twin(mkIOS())},
+		{"FM-64KB-2MB-NoIntf", quiet(mkFM())},
+		{"IOS-64KB-2MB-NoIntf", quiet(mkIOS())},
+	}
+	for _, c := range cases {
+		s, err := Build(c.cfg)
+		if err != nil {
+			return nil, err
+		}
+		s.RunMeasured(o)
+		st := s.RepStats()
+		res.Rows = append(res.Rows, Fig8Row{Config: c.name, Mean: st.Total.Mean(), Std: st.Total.StdDev()})
+	}
+	return res, nil
+}
+
+// ---------------------------------------------------------------------------
+// Figure 9: FreeMarket vs IOShares vs interferer buffer size.
+// ---------------------------------------------------------------------------
+
+// Fig9Row is one buffer-size group.
+type Fig9Row struct {
+	Buffer                     int
+	Base, FreeMarket, IOShares float64
+}
+
+// Fig9Result holds the sweep.
+type Fig9Result struct{ Rows []Fig9Row }
+
+// Title implements Result.
+func (r *Fig9Result) Title() string {
+	return "Figure 9: FreeMarket and IOShares vs interfering buffer size"
+}
+
+// WriteText implements Result.
+func (r *Fig9Result) WriteText(w io.Writer) error {
+	fmt.Fprintf(w, "%s\n\n", r.Title())
+	fmt.Fprintf(w, "%-10s %12s %12s %12s\n", "buffer", "Base(µs)", "FreeMarket", "IOShares")
+	for _, row := range r.Rows {
+		fmt.Fprintf(w, "%-10s %12.1f %12.1f %12.1f\n", byteSize(row.Buffer), row.Base, row.FreeMarket, row.IOShares)
+	}
+	return nil
+}
+
+// WriteCSV implements Result.
+func (r *Fig9Result) WriteCSV(w io.Writer) error {
+	fmt.Fprintln(w, "buffer,base_us,freemarket_us,ioshares_us")
+	for _, row := range r.Rows {
+		fmt.Fprintf(w, "%d,%g,%g,%g\n", row.Buffer, row.Base, row.FreeMarket, row.IOShares)
+	}
+	return nil
+}
+
+// Fig9 sweeps the interferer buffer (64KB–1MB, as in the paper) under no
+// policy reference (Base, no interferer), FreeMarket and IOShares.
+func Fig9(o Options) (*Fig9Result, error) {
+	o = o.WithDefaults()
+	res := &Fig9Result{}
+	// Shared Base reference (no interferer).
+	s, err := Build(ScenarioConfig{})
+	if err != nil {
+		return nil, err
+	}
+	s.RunMeasured(o)
+	base := s.RepStats().Total.Mean()
+
+	for _, buf := range []int{64 << 10, 128 << 10, 256 << 10, 512 << 10, 1 << 20} {
+		row := Fig9Row{Buffer: buf, Base: base}
+		for _, mk := range []func() resex.Policy{
+			func() resex.Policy { return resex.NewFreeMarket() },
+			func() resex.Policy { return resex.NewIOShares() },
+		} {
+			p := mk()
+			s, err := Build(ScenarioConfig{IntfBuffer: buf, Policy: p, SLAUs: BaseSLAUs})
+			if err != nil {
+				return nil, err
+			}
+			s.RunMeasured(o)
+			m := s.RepStats().Total.Mean()
+			if p.Name() == "FreeMarket" {
+				row.FreeMarket = m
+			} else {
+				row.IOShares = m
+			}
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}
+
+// resexDefaultAllocation returns the 2-VM per-epoch Reso allocation.
+func resexDefaultAllocation() resos.Amount {
+	return resos.DefaultSupply().Allocation(2)
+}

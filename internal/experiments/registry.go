@@ -1,0 +1,70 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Entry describes one reproducible figure.
+type Entry struct {
+	ID    string
+	Title string
+	Run   func(Options) (Result, error)
+}
+
+// registry maps figure ids to drivers.
+var registry = map[string]Entry{}
+
+func register(id, title string, run func(Options) (Result, error)) {
+	registry[id] = Entry{ID: id, Title: title, Run: run}
+}
+
+func init() {
+	register("fig1", "Latency distribution, Normal vs Interfered",
+		func(o Options) (Result, error) { return Fig1(o) })
+	register("fig2", "Latency components vs number of servers",
+		func(o Options) (Result, error) { return Fig2(o) })
+	register("fig3", "Latency vs buffer ratio with cap = 100/BR",
+		func(o Options) (Result, error) { return Fig3(o) })
+	register("fig4", "Latency vs interferer CPU cap",
+		func(o Options) (Result, error) { return Fig4(o) })
+	register("fig5", "FreeMarket timeline",
+		func(o Options) (Result, error) { return Fig5(o) })
+	register("fig6", "Reso depletion under FreeMarket",
+		func(o Options) (Result, error) { return Fig6(o) })
+	register("fig7", "IOShares timeline",
+		func(o Options) (Result, error) { return Fig7(o) })
+	register("fig8", "Non-interference cases",
+		func(o Options) (Result, error) { return Fig8(o) })
+	register("fig9", "Policies vs interfering buffer size",
+		func(o Options) (Result, error) { return Fig9(o) })
+	register("abl-arb", "Ablation: link arbitration discipline",
+		func(o Options) (Result, error) { return AblArb(o) })
+	register("abl-mech", "Ablation: CPU cap vs NIC rate limit",
+		func(o Options) (Result, error) { return AblMech(o) })
+	register("abl-events", "Ablation: polling vs event-driven completions",
+		func(o Options) (Result, error) { return AblEvents(o) })
+	register("abl-capacity", "Ablation: consolidation density within SLA",
+		func(o Options) (Result, error) { return AblCapacity(o) })
+	register("softrt", "Extension: soft-real-time stream deadline misses",
+		func(o Options) (Result, error) { return SoftRT(o) })
+}
+
+// Lookup returns the entry for an id ("fig1".."fig9").
+func Lookup(id string) (Entry, error) {
+	e, ok := registry[id]
+	if !ok {
+		return Entry{}, fmt.Errorf("experiments: unknown figure %q (have %v)", id, IDs())
+	}
+	return e, nil
+}
+
+// IDs returns all registered figure ids in order.
+func IDs() []string {
+	ids := make([]string, 0, len(registry))
+	for id := range registry {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids
+}

@@ -1,0 +1,321 @@
+// Package fabric models the InfiniBand interconnect: links that serialize
+// MTU-sized packets at a configured bandwidth, and a cut-through switch that
+// forwards between hosts.
+//
+// The paper's interference mechanism lives here. Each host's HCA shares one
+// uplink (host→switch) and one downlink (switch→host) among all QPs of all
+// VMs on that host. When a VM with a 2 MB buffer streams 2048 MTUs while a
+// 64 KB VM sends 64, their packets arbitrate for the same wire; the small
+// flow's transfer stretches and its latency spreads — exactly the Figure 1
+// distribution. Links support two service disciplines:
+//
+//   - RoundRobin (default): per-flow queues served one MTU at a time, the
+//     virtual-lane-style arbitration of an IB HCA;
+//   - FIFO: a single queue in arrival order, which lets a burst of a large
+//     message head-of-line-block small flows. The difference between the two
+//     is an ablation benchmark.
+package fabric
+
+import (
+	"fmt"
+
+	"resex/internal/sim"
+)
+
+// DefaultMTU is the IB MTU used throughout the paper: 1 KB.
+const DefaultMTU = 1024
+
+// Packet is one MTU on the wire.
+type Packet struct {
+	// Flow keys arbitration on the egress link; sources use their QPN.
+	Flow uint32
+	// SrcNode and DstNode identify hosts (switch ports).
+	SrcNode, DstNode int
+	// DstFlow is the destination QPN.
+	DstFlow uint32
+	// Bytes is the wire size of this packet (≤ MTU).
+	Bytes int
+	// Msg identifies the message this MTU belongs to; Index is the MTU's
+	// position and Last marks the final MTU of the message.
+	Msg   uint64
+	Index int
+	Last  bool
+	// Meta carries an opaque reference for the consumer (e.g. the work
+	// request that produced the message).
+	Meta any
+	// Sent is stamped by the first link the packet enters.
+	Sent sim.Time
+}
+
+// Discipline selects how a link arbitrates among flows.
+type Discipline int
+
+const (
+	// RoundRobin serves per-flow queues one packet at a time.
+	RoundRobin Discipline = iota
+	// FIFO serves packets strictly in arrival order.
+	FIFO
+)
+
+// String names the discipline.
+func (d Discipline) String() string {
+	switch d {
+	case RoundRobin:
+		return "rr"
+	case FIFO:
+		return "fifo"
+	default:
+		return fmt.Sprintf("discipline(%d)", int(d))
+	}
+}
+
+// LinkStats aggregates what a link has carried.
+type LinkStats struct {
+	Packets   int64
+	Bytes     int64
+	BusyTime  sim.Time
+	MaxQueued int
+}
+
+// Link is a unidirectional serializing channel: packets occupy the wire for
+// Bytes/Bandwidth seconds each, then arrive at the receiver after the
+// propagation delay. Queued packets wait according to the discipline.
+type Link struct {
+	eng     *sim.Engine
+	name    string
+	bps     float64 // bytes per second
+	prop    sim.Time
+	disc    Discipline
+	deliver func(*Packet)
+
+	busy    bool
+	fifo    []*Packet
+	flows   map[uint32]*flowQueue
+	ring    []*flowQueue // active flows, round-robin order
+	rrNext  int
+	queued  int
+	perFlow map[uint32]int64 // bytes per flow, for IOShare accounting
+	stats   LinkStats
+	wakeup  *sim.Timer // pending retry for rate-limited flows
+}
+
+type flowQueue struct {
+	id     uint32
+	pkts   []*Packet
+	limit  float64  // bytes/second; 0 = unlimited
+	nextAt sim.Time // earliest time the next packet may start (pacing)
+}
+
+// NewLink creates a link. bandwidth is in bytes/second; prop is the
+// propagation delay added after serialization; deliver receives each packet
+// at its arrival time.
+func NewLink(eng *sim.Engine, name string, bandwidth float64, prop sim.Time, disc Discipline, deliver func(*Packet)) *Link {
+	if bandwidth <= 0 {
+		panic("fabric: link bandwidth must be positive")
+	}
+	if deliver == nil {
+		panic("fabric: link needs a deliver function")
+	}
+	return &Link{
+		eng:     eng,
+		name:    name,
+		bps:     bandwidth,
+		prop:    prop,
+		disc:    disc,
+		deliver: deliver,
+		flows:   make(map[uint32]*flowQueue),
+		perFlow: make(map[uint32]int64),
+	}
+}
+
+// Name returns the link's diagnostic name.
+func (l *Link) Name() string { return l.name }
+
+// Bandwidth returns the link rate in bytes per second.
+func (l *Link) Bandwidth() float64 { return l.bps }
+
+// Stats returns a snapshot of cumulative link statistics.
+func (l *Link) Stats() LinkStats { return l.stats }
+
+// FlowBytes returns cumulative bytes carried for a flow.
+func (l *Link) FlowBytes(flow uint32) int64 { return l.perFlow[flow] }
+
+// Queued returns the number of packets waiting or in flight on the wire.
+func (l *Link) Queued() int { return l.queued }
+
+// SetFlowRateLimit paces a flow to at most bytesPerSec (0 removes the
+// limit). This models the per-traffic-flow bandwidth limits of newer
+// InfiniBand adapters that the paper's introduction points to as emerging
+// hardware support; the rate-limit ablation benchmark compares it against
+// ResEx's CPU-cap mechanism. Only meaningful with RoundRobin discipline.
+func (l *Link) SetFlowRateLimit(flow uint32, bytesPerSec float64) {
+	q, ok := l.flows[flow]
+	if !ok {
+		q = &flowQueue{id: flow}
+		l.flows[flow] = q
+	}
+	if bytesPerSec < 0 {
+		bytesPerSec = 0
+	}
+	q.limit = bytesPerSec
+	if bytesPerSec == 0 {
+		q.nextAt = 0
+	}
+	if !l.busy {
+		l.transmitNext()
+	}
+}
+
+// FlowRateLimit returns the flow's configured pacing rate (0 = unlimited).
+func (l *Link) FlowRateLimit(flow uint32) float64 {
+	if q, ok := l.flows[flow]; ok {
+		return q.limit
+	}
+	return 0
+}
+
+// Send enqueues a packet for transmission.
+func (l *Link) Send(pkt *Packet) {
+	if pkt.Sent == 0 {
+		pkt.Sent = l.eng.Now()
+	}
+	l.queued++
+	if l.queued > l.stats.MaxQueued {
+		l.stats.MaxQueued = l.queued
+	}
+	switch l.disc {
+	case FIFO:
+		l.fifo = append(l.fifo, pkt)
+	default:
+		q, ok := l.flows[pkt.Flow]
+		if !ok {
+			q = &flowQueue{id: pkt.Flow}
+			l.flows[pkt.Flow] = q
+		}
+		if len(q.pkts) == 0 {
+			l.ring = append(l.ring, q)
+		}
+		q.pkts = append(q.pkts, pkt)
+	}
+	if !l.busy {
+		l.transmitNext()
+	}
+}
+
+// next pops the next packet according to the discipline, honoring per-flow
+// pacing. It returns nil when nothing is eligible right now.
+func (l *Link) next() *Packet {
+	switch l.disc {
+	case FIFO:
+		if len(l.fifo) == 0 {
+			return nil
+		}
+		pkt := l.fifo[0]
+		l.fifo = l.fifo[1:]
+		return pkt
+	default:
+		now := l.eng.Now()
+		for scanned, n := 0, len(l.ring); scanned < n; scanned++ {
+			if l.rrNext >= len(l.ring) {
+				l.rrNext = 0
+			}
+			q := l.ring[l.rrNext]
+			if q.limit > 0 && q.nextAt > now {
+				l.rrNext++ // paced out: try the next flow
+				continue
+			}
+			pkt := q.pkts[0]
+			q.pkts = q.pkts[1:]
+			if q.limit > 0 {
+				start := now
+				if q.nextAt > start {
+					start = q.nextAt
+				}
+				q.nextAt = start + sim.DurationOfBytes(int64(pkt.Bytes), q.limit)
+			}
+			if len(q.pkts) == 0 {
+				l.ring = append(l.ring[:l.rrNext], l.ring[l.rrNext+1:]...)
+				// rrNext now points at the flow after the removed one.
+			} else {
+				l.rrNext++
+			}
+			return pkt
+		}
+		return nil // every queued flow is paced out
+	}
+}
+
+// armWakeup schedules a retry at the earliest pacing release among queued
+// flows, so a fully paced-out link resumes by itself.
+func (l *Link) armWakeup() {
+	var at sim.Time = -1
+	for _, q := range l.ring {
+		if len(q.pkts) > 0 && q.limit > 0 && (at < 0 || q.nextAt < at) {
+			at = q.nextAt
+		}
+	}
+	if at < 0 {
+		return
+	}
+	if l.wakeup != nil {
+		l.wakeup.Stop()
+	}
+	l.wakeup = l.eng.Schedule(at, func() {
+		if !l.busy {
+			l.transmitNext()
+		}
+	})
+}
+
+// transmitNext serializes the next queued packet.
+func (l *Link) transmitNext() {
+	pkt := l.next()
+	if pkt == nil {
+		l.busy = false
+		l.armWakeup()
+		return
+	}
+	l.busy = true
+	ser := sim.DurationOfBytes(int64(pkt.Bytes), l.bps)
+	l.stats.BusyTime += ser
+	l.eng.After(ser, func() {
+		l.stats.Packets++
+		l.stats.Bytes += int64(pkt.Bytes)
+		l.perFlow[pkt.Flow] += int64(pkt.Bytes)
+		l.queued--
+		l.eng.After(l.prop, func() { l.deliver(pkt) })
+		l.transmitNext()
+	})
+}
+
+// Switch is an output-queued crossbar: packets injected from host uplinks
+// are forwarded, after a fixed forwarding latency, onto the egress link of
+// their destination node.
+type Switch struct {
+	eng     *sim.Engine
+	latency sim.Time
+	ports   map[int]*Link
+}
+
+// NewSwitch creates a switch with the given forwarding latency.
+func NewSwitch(eng *sim.Engine, latency sim.Time) *Switch {
+	return &Switch{eng: eng, latency: latency, ports: make(map[int]*Link)}
+}
+
+// AttachNode connects node's downlink (switch→host egress link).
+func (s *Switch) AttachNode(node int, egress *Link) {
+	if _, dup := s.ports[node]; dup {
+		panic(fmt.Sprintf("fabric: node %d already attached", node))
+	}
+	s.ports[node] = egress
+}
+
+// Inject receives a packet from a host uplink and forwards it. Unknown
+// destinations panic: the simulated cluster is statically wired.
+func (s *Switch) Inject(pkt *Packet) {
+	egress, ok := s.ports[pkt.DstNode]
+	if !ok {
+		panic(fmt.Sprintf("fabric: packet for unattached node %d", pkt.DstNode))
+	}
+	s.eng.After(s.latency, func() { egress.Send(pkt) })
+}

@@ -1,0 +1,78 @@
+package finance
+
+import (
+	"errors"
+	"math"
+)
+
+// Bond is a fixed-coupon bond paying Coupon×Face annually for Years years
+// plus Face at maturity (annual compounding).
+type Bond struct {
+	Face   float64 // face value
+	Coupon float64 // annual coupon rate (e.g. 0.05)
+	Years  int     // whole years to maturity
+}
+
+// ErrBadBond reports invalid bond parameters.
+var ErrBadBond = errors.New("finance: bond parameters invalid")
+
+// Price returns the bond's present value at the given annually compounded
+// yield.
+func (b Bond) Price(yield float64) (float64, error) {
+	if b.Face <= 0 || b.Years < 1 || yield <= -1 {
+		return 0, ErrBadBond
+	}
+	c := b.Face * b.Coupon
+	pv := 0.0
+	for t := 1; t <= b.Years; t++ {
+		pv += c / math.Pow(1+yield, float64(t))
+	}
+	pv += b.Face / math.Pow(1+yield, float64(b.Years))
+	return pv, nil
+}
+
+// Yield solves for the yield-to-maturity matching the given price, by
+// bisection on [-0.99, 10].
+func (b Bond) Yield(price float64) (float64, error) {
+	if price <= 0 {
+		return 0, ErrBadBond
+	}
+	lo, hi := -0.99, 10.0
+	for i := 0; i < 200; i++ {
+		mid := (lo + hi) / 2
+		v, err := b.Price(mid)
+		if err != nil {
+			return 0, err
+		}
+		switch {
+		case math.Abs(v-price) < 1e-9:
+			return mid, nil
+		case v > price: // price falls as yield rises
+			lo = mid
+		default:
+			hi = mid
+		}
+	}
+	if hi-lo < 1e-6 {
+		return (lo + hi) / 2, nil
+	}
+	return 0, ErrNoConvergence
+}
+
+// Duration returns the Macaulay duration at the given yield, in years.
+func (b Bond) Duration(yield float64) (float64, error) {
+	price, err := b.Price(yield)
+	if err != nil {
+		return 0, err
+	}
+	c := b.Face * b.Coupon
+	var weighted float64
+	for t := 1; t <= b.Years; t++ {
+		cf := c
+		if t == b.Years {
+			cf += b.Face
+		}
+		weighted += float64(t) * cf / math.Pow(1+yield, float64(t))
+	}
+	return weighted / price, nil
+}

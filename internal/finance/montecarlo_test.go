@@ -1,0 +1,116 @@
+package finance
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestMonteCarloConvergesToBlackScholes(t *testing.T) {
+	want, _ := atm.Price()
+	r, err := MonteCarloPrice(atm, 200000, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Paths != 200000 {
+		t.Errorf("paths = %d", r.Paths)
+	}
+	if r.StdErr <= 0 {
+		t.Fatalf("stderr = %v", r.StdErr)
+	}
+	if diff := math.Abs(r.Price - want); diff > 4*r.StdErr {
+		t.Errorf("MC %v vs BS %v: off by %.1f stderr", r.Price, want, diff/r.StdErr)
+	}
+}
+
+func TestMonteCarloDeterministic(t *testing.T) {
+	a, _ := MonteCarloPrice(atm, 10000, 7)
+	b, _ := MonteCarloPrice(atm, 10000, 7)
+	if a != b {
+		t.Error("same seed produced different estimates")
+	}
+	c, _ := MonteCarloPrice(atm, 10000, 8)
+	if a.Price == c.Price {
+		t.Error("different seeds produced identical estimates")
+	}
+}
+
+func TestMonteCarloValidation(t *testing.T) {
+	if _, err := MonteCarloPrice(Option{}, 1000, 1); err != ErrBadOption {
+		t.Errorf("invalid option: %v", err)
+	}
+	// Degenerate path count is clamped, not an error.
+	if r, err := MonteCarloPrice(atm, 1, 1); err != nil || r.Paths < 2 {
+		t.Errorf("tiny paths: %v %v", r, err)
+	}
+}
+
+func TestMonteCarloAgreesAcrossMoneyness(t *testing.T) {
+	f := func(kByte uint8, put bool) bool {
+		o := Option{Spot: 100, Strike: 70 + float64(kByte)/4, Rate: 0.03, Vol: 0.25, Expiry: 1}
+		if put {
+			o.Kind = Put
+		}
+		want, err := o.Price()
+		if err != nil {
+			return false
+		}
+		r, err := MonteCarloPrice(o, 60000, int64(kByte)+1)
+		if err != nil {
+			return false
+		}
+		tol := 5*r.StdErr + 1e-6
+		return math.Abs(r.Price-want) <= tol
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAsianOptionProperties(t *testing.T) {
+	// An arithmetic Asian call is worth less than its European counterpart
+	// (averaging reduces effective volatility) but stays positive ATM.
+	eu, _ := atm.Price()
+	r, err := AsianMCPrice(atm, 12, 60000, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Price <= 0 || r.Price >= eu {
+		t.Errorf("Asian %.3f should be in (0, european %.3f)", r.Price, eu)
+	}
+	// With a single observation at expiry the Asian IS the European.
+	one, err := AsianMCPrice(atm, 1, 200000, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diff := math.Abs(one.Price - eu); diff > 4*one.StdErr {
+		t.Errorf("1-step Asian %.3f vs European %.3f: off by %.1f stderr", one.Price, eu, diff/one.StdErr)
+	}
+	// Puts work too, and validation holds.
+	p := atm
+	p.Kind = Put
+	if rp, err := AsianMCPrice(p, 12, 20000, 7); err != nil || rp.Price <= 0 {
+		t.Errorf("Asian put: %v %v", rp, err)
+	}
+	if _, err := AsianMCPrice(Option{}, 12, 1000, 1); err != ErrBadOption {
+		t.Errorf("invalid option: %v", err)
+	}
+}
+
+func TestAsianDeterministic(t *testing.T) {
+	a, _ := AsianMCPrice(atm, 8, 5000, 3)
+	b, _ := AsianMCPrice(atm, 8, 5000, 3)
+	if a != b {
+		t.Error("same seed diverged")
+	}
+}
+
+func TestMonteCarloAntitheticReducesError(t *testing.T) {
+	// The antithetic estimator's stderr for an ATM call should be well
+	// below the naive sqrt(var(payoff)/n); sanity-check it shrinks with n.
+	small, _ := MonteCarloPrice(atm, 2000, 3)
+	big, _ := MonteCarloPrice(atm, 200000, 3)
+	if big.StdErr >= small.StdErr {
+		t.Errorf("stderr did not shrink: %v → %v", small.StdErr, big.StdErr)
+	}
+}

@@ -1,0 +1,258 @@
+// Package hca models a VMM-bypass InfiniBand host channel adapter with a
+// verbs-like programming interface: protection domains, memory regions with
+// a translation & protection table (TPT), queue pairs, completion queues,
+// UAR doorbell pages, and a DMA engine that segments messages into MTUs and
+// arbitrates them onto the host's fabric uplink.
+//
+// Fidelity requirements inherited from the paper:
+//
+//   - VMM bypass: guests drive the device directly. No hypervisor code runs
+//     on the data path, and crucially, the device writes its completion
+//     queue entries (CQEs) and doorbell records as plain bytes into guest
+//     memory. IBMon reads those bytes back out via introspection — there is
+//     no side channel from the simulator to the monitor.
+//   - Offload: data movement consumes no guest CPU. A VM's only CPU costs
+//     are posting work requests and polling CQs, which the application
+//     layer charges to its VCPU. This is why capping a VM's CPU throttles
+//     its I/O *rate* (it can't post/poll) without touching in-flight DMA —
+//     the exact lever ResEx exploits.
+//   - MTU granularity: messages are segmented into MTU-sized packets that
+//     share the host uplink with every other QP on the host (round-robin
+//     arbitration in the fabric package). A 2 MB writer therefore stretches
+//     a collocated 64 KB flow — the paper's interference.
+//
+// Supported operations: SEND/RECV, RDMA WRITE (optionally with immediate,
+// consuming a receive WQE), and RDMA READ. Reliable-connected semantics:
+// per-QP ordering, sender completions after the remote delivery is
+// acknowledged.
+package hca
+
+import (
+	"errors"
+	"fmt"
+
+	"resex/internal/fabric"
+	"resex/internal/guestmem"
+	"resex/internal/sim"
+)
+
+// Errors returned by verbs calls.
+var (
+	ErrSQFull      = errors.New("hca: send queue full")
+	ErrRQFull      = errors.New("hca: receive queue full")
+	ErrNotRTS      = errors.New("hca: QP not connected (not in RTS)")
+	ErrBadLKey     = errors.New("hca: local key violation")
+	ErrMRTooLarge  = errors.New("hca: registration exceeds space")
+	ErrCQOverflow  = errors.New("hca: completion queue overrun")
+	ErrConnected   = errors.New("hca: QP already connected")
+	ErrPayloadSize = errors.New("hca: payload longer than message length")
+)
+
+// Access flags for memory registration.
+type Access uint32
+
+// Access rights, OR-able.
+const (
+	AccessLocalWrite Access = 1 << iota
+	AccessRemoteWrite
+	AccessRemoteRead
+)
+
+// Config parameterizes an HCA.
+type Config struct {
+	// Node is this host's fabric node id.
+	Node int
+	// Name appears in diagnostics.
+	Name string
+	// MTU is the wire packet payload size. Default 1024 (the paper's MTU).
+	MTU int
+	// ProcDelay is the doorbell-to-wire latency per work request (WQE
+	// fetch, TPT lookup). Default 300 ns.
+	ProcDelay sim.Time
+	// AckLatency is the delay between last-MTU delivery at the responder
+	// and the sender-side completion (RC ack). Default 1500 ns.
+	AckLatency sim.Time
+}
+
+func (c Config) withDefaults() Config {
+	if c.MTU <= 0 {
+		c.MTU = fabric.DefaultMTU
+	}
+	if c.ProcDelay <= 0 {
+		c.ProcDelay = 300 * sim.Nanosecond
+	}
+	if c.AckLatency <= 0 {
+		c.AckLatency = 1500 * sim.Nanosecond
+	}
+	if c.Name == "" {
+		c.Name = fmt.Sprintf("hca%d", c.Node)
+	}
+	return c
+}
+
+// HCA is one host channel adapter.
+type HCA struct {
+	eng    *sim.Engine
+	cfg    Config
+	uplink *fabric.Link
+	peer   func(node int) *HCA
+
+	tpt     map[uint32]*MR // by key (lkey == rkey in our simplified TPT)
+	qps     map[uint32]*QP
+	nextKey uint32
+	nextQPN uint32
+	nextCQN uint32
+	nextPD  uint32
+
+	// Stats.
+	msgsSent  int64
+	bytesSent int64
+}
+
+// New creates an HCA. Wire it with SetUplink and SetPeerResolver before use.
+func New(eng *sim.Engine, cfg Config) *HCA {
+	cfg = cfg.withDefaults()
+	return &HCA{
+		eng:     eng,
+		cfg:     cfg,
+		tpt:     make(map[uint32]*MR),
+		qps:     make(map[uint32]*QP),
+		nextKey: 0x1000,
+		nextQPN: 0x40,
+		nextCQN: 1,
+		nextPD:  1,
+	}
+}
+
+// Engine returns the simulation engine.
+func (h *HCA) Engine() *sim.Engine { return h.eng }
+
+// Node returns the host's fabric node id.
+func (h *HCA) Node() int { return h.cfg.Node }
+
+// Name returns the HCA's diagnostic name.
+func (h *HCA) Name() string { return h.cfg.Name }
+
+// MTU returns the wire MTU in bytes.
+func (h *HCA) MTU() int { return h.cfg.MTU }
+
+// SetUplink attaches the host's egress link (host → switch).
+func (h *HCA) SetUplink(l *fabric.Link) { h.uplink = l }
+
+// Uplink returns the attached egress link.
+func (h *HCA) Uplink() *fabric.Link { return h.uplink }
+
+// SetPeerResolver installs the function used to find the HCA of a remote
+// node for ack and read-response bookkeeping (control-plane shortcut; data
+// still flows through the fabric).
+func (h *HCA) SetPeerResolver(f func(node int) *HCA) { h.peer = f }
+
+// MessagesSent returns the number of messages this HCA put on the wire.
+func (h *HCA) MessagesSent() int64 { return h.msgsSent }
+
+// BytesSent returns the total payload bytes this HCA put on the wire.
+func (h *HCA) BytesSent() int64 { return h.bytesSent }
+
+// QP returns the queue pair with the given number, or nil.
+func (h *HCA) QP(qpn uint32) *QP { return h.qps[qpn] }
+
+// AllocPD creates a protection domain bound to one guest address space
+// (i.e. one VM). All MRs, CQs and QPs of that VM hang off its PD.
+func (h *HCA) AllocPD(space *guestmem.Space) *PD {
+	pd := &PD{hca: h, id: h.nextPD, space: space}
+	h.nextPD++
+	return pd
+}
+
+// PD is a protection domain: the container real verbs use to tie MRs, QPs
+// and CQs to one address space. It tracks its resources, which is what lets
+// the dom0 backend driver (package splitdriver) enumerate a guest's CQs and
+// QPs for IBMon — every control-path operation is visible to dom0 even on a
+// bypass device.
+type PD struct {
+	hca   *HCA
+	id    uint32
+	space *guestmem.Space
+	cqs   []*CQ
+	qps   []*QP
+	mrs   []*MR
+}
+
+// CQs returns the completion queues created in this PD.
+func (pd *PD) CQs() []*CQ { return pd.cqs }
+
+// QPs returns the queue pairs created in this PD (including destroyed
+// ones).
+func (pd *PD) QPs() []*QP { return pd.qps }
+
+// MRs returns the memory regions registered in this PD (including
+// deregistered ones).
+func (pd *PD) MRs() []*MR { return pd.mrs }
+
+// HCA returns the owning adapter.
+func (pd *PD) HCA() *HCA { return pd.hca }
+
+// Space returns the guest address space the PD is bound to.
+func (pd *PD) Space() *guestmem.Space { return pd.space }
+
+// RegisterMR registers [addr, addr+n) for DMA with the given access rights,
+// pinning it in the TPT. The returned MR's key serves as both lkey and rkey.
+func (pd *PD) RegisterMR(addr guestmem.Addr, n uint64, access Access) (*MR, error) {
+	if uint64(addr)+n > pd.space.Size() {
+		return nil, ErrMRTooLarge
+	}
+	h := pd.hca
+	mr := &MR{pd: pd, addr: addr, len: n, access: access, key: h.nextKey}
+	h.nextKey++
+	h.tpt[mr.key] = mr
+	pd.mrs = append(pd.mrs, mr)
+	return mr, nil
+}
+
+// DeregisterMR removes the MR from the TPT; subsequent wire operations
+// referencing its key fail with protection errors.
+func (pd *PD) DeregisterMR(mr *MR) {
+	delete(pd.hca.tpt, mr.key)
+}
+
+// MR is a registered memory region (one TPT entry).
+type MR struct {
+	pd     *PD
+	addr   guestmem.Addr
+	len    uint64
+	access Access
+	key    uint32
+}
+
+// Key returns the MR's protection key (lkey and rkey).
+func (mr *MR) Key() uint32 { return mr.key }
+
+// Addr returns the region's base address.
+func (mr *MR) Addr() guestmem.Addr { return mr.addr }
+
+// Len returns the region's length.
+func (mr *MR) Len() uint64 { return mr.len }
+
+// contains reports whether [addr, addr+n) lies within the MR.
+func (mr *MR) contains(addr guestmem.Addr, n int) bool {
+	return addr >= mr.addr && uint64(addr)+uint64(n) <= uint64(mr.addr)+mr.len
+}
+
+// checkKey validates a key against the TPT for the given access, range and
+// address space.
+func (h *HCA) checkKey(key uint32, space *guestmem.Space, addr guestmem.Addr, n int, need Access) *MR {
+	mr, ok := h.tpt[key]
+	if !ok {
+		return nil
+	}
+	if mr.pd.space != space && space != nil {
+		return nil
+	}
+	if need != 0 && mr.access&need != need {
+		return nil
+	}
+	if !mr.contains(addr, n) {
+		return nil
+	}
+	return mr
+}

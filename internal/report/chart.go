@@ -1,0 +1,172 @@
+package report
+
+import (
+	"math"
+
+	"resex/internal/stats"
+)
+
+// LineChart renders one or more series as lines with a shared frame.
+func LineChart(title, xlabel, ylabel string, series []*stats.Series) string {
+	c := NewCanvas(720, 420)
+	f := newFrame(c, title, xlabel, ylabel)
+	f.xmin, f.xmax = math.Inf(1), math.Inf(-1)
+	f.ymin, f.ymax = math.Inf(1), math.Inf(-1)
+	any := false
+	for _, s := range series {
+		for _, p := range s.Points() {
+			any = true
+			f.xmin = math.Min(f.xmin, p.X)
+			f.xmax = math.Max(f.xmax, p.X)
+			f.ymin = math.Min(f.ymin, p.Y)
+			f.ymax = math.Max(f.ymax, p.Y)
+		}
+	}
+	if !any {
+		f.xmin, f.xmax, f.ymin, f.ymax = 0, 1, 0, 1
+	}
+	// Headroom, and anchor Y at zero when it is nearby.
+	pad := (f.ymax - f.ymin) * 0.08
+	if pad == 0 {
+		pad = 1
+	}
+	f.ymax += pad
+	if f.ymin > 0 && f.ymin < f.ymax/3 {
+		f.ymin = 0
+	} else {
+		f.ymin -= pad
+	}
+	f.draw()
+	var names []string
+	for i, s := range series {
+		pts := make([][2]float64, 0, s.Len())
+		for _, p := range s.Points() {
+			pts = append(pts, [2]float64{f.x(p.X), f.y(p.Y)})
+		}
+		c.Polyline(pts, palette[i%len(palette)], 1.6)
+		names = append(names, s.Name)
+	}
+	f.legend(names)
+	return c.String()
+}
+
+// StackedBar is one bar made of stacked segments (e.g. PTime/CTime/WTime).
+type StackedBar struct {
+	Label    string
+	Segments []float64
+}
+
+// StackedBarChart renders component-stacked bars (Figures 2–4).
+func StackedBarChart(title, ylabel string, segNames []string, bars []StackedBar) string {
+	c := NewCanvas(720, 420)
+	f := newFrame(c, title, "", ylabel)
+	f.xmin, f.xmax = 0, float64(len(bars))
+	f.ymin, f.ymax = 0, 1
+	for _, b := range bars {
+		var sum float64
+		for _, s := range b.Segments {
+			sum += s
+		}
+		f.ymax = math.Max(f.ymax, sum)
+	}
+	f.ymax *= 1.12
+	// Draw frame without default X ticks (categorical axis).
+	c2 := f.c
+	w, h := float64(c2.W), float64(c2.H)
+	c2.Text(w/2, 22, f.title, 14, "middle", "#000")
+	c2.Line(f.l, h-f.b, w-f.r, h-f.b, "#333", 1)
+	c2.Line(f.l, f.t, f.l, h-f.b, "#333", 1)
+	for _, v := range niceTicks(f.ymin, f.ymax, 6) {
+		y := f.y(v)
+		c2.Line(f.l, y, w-f.r, y, "#e5e5e5", 0.7)
+		c2.Text(f.l-7, y+3.5, formatTick(v), 10, "end", "#333")
+	}
+	c2.TextRotated(18, (f.t+h-f.b)/2, ylabel, 11, -90)
+
+	slot := (f.xmax - f.xmin)
+	_ = slot
+	barW := (w - f.l - f.r) / float64(len(bars))
+	for i, b := range bars {
+		x0 := f.l + float64(i)*barW + barW*0.18
+		bw := barW * 0.64
+		y := h - f.b
+		for si, seg := range b.Segments {
+			yy := f.y(seg) - (h - f.b) // negative height in plot space
+			c2.Rect(x0, y+yy, bw, -yy, palette[si%len(palette)])
+			y += yy
+		}
+		c2.Text(x0+bw/2, h-f.b+16, b.Label, 10, "middle", "#333")
+	}
+	f.legend(segNames)
+	return c2.String()
+}
+
+// GroupedBarChart renders grouped (side-by-side) bars (Figures 8–9).
+func GroupedBarChart(title, ylabel string, groupNames []string, barNames []string, values [][]float64) string {
+	c := NewCanvas(720, 420)
+	f := newFrame(c, title, "", ylabel)
+	f.ymin, f.ymax = 0, 1
+	for _, group := range values {
+		for _, v := range group {
+			f.ymax = math.Max(f.ymax, v)
+		}
+	}
+	f.ymax *= 1.12
+	f.xmin, f.xmax = 0, 1
+	w, h := float64(c.W), float64(c.H)
+	c.Text(w/2, 22, f.title, 14, "middle", "#000")
+	c.Line(f.l, h-f.b, w-f.r, h-f.b, "#333", 1)
+	c.Line(f.l, f.t, f.l, h-f.b, "#333", 1)
+	for _, v := range niceTicks(f.ymin, f.ymax, 6) {
+		y := f.y(v)
+		c.Line(f.l, y, w-f.r, y, "#e5e5e5", 0.7)
+		c.Text(f.l-7, y+3.5, formatTick(v), 10, "end", "#333")
+	}
+	c.TextRotated(18, (f.t+h-f.b)/2, ylabel, 11, -90)
+
+	groupW := (w - f.l - f.r) / float64(len(values))
+	for gi, group := range values {
+		gx := f.l + float64(gi)*groupW
+		bw := groupW * 0.7 / float64(len(group))
+		for bi, v := range group {
+			x := gx + groupW*0.15 + float64(bi)*bw
+			y := f.y(v)
+			c.Rect(x, y, bw*0.9, h-f.b-y, palette[bi%len(palette)])
+		}
+		c.Text(gx+groupW/2, h-f.b+16, groupNames[gi], 10, "middle", "#333")
+	}
+	f.legend(barNames)
+	return c.String()
+}
+
+// HistogramChart renders one or more histograms as outlined step plots
+// (Figure 1).
+func HistogramChart(title, xlabel string, hists []*stats.Histogram, names []string) string {
+	c := NewCanvas(720, 420)
+	f := newFrame(c, title, xlabel, "count")
+	f.xmin, f.xmax = math.Inf(1), math.Inf(-1)
+	f.ymin, f.ymax = 0, 1
+	for _, hst := range hists {
+		for _, row := range hst.Rows() {
+			f.xmin = math.Min(f.xmin, row[0])
+			f.xmax = math.Max(f.xmax, row[0])
+			f.ymax = math.Max(f.ymax, row[1])
+		}
+	}
+	if math.IsInf(f.xmin, 1) {
+		f.xmin, f.xmax = 0, 1
+	}
+	f.xmax += (f.xmax - f.xmin) * 0.05
+	f.ymax *= 1.1
+	f.draw()
+	for hi, hst := range hists {
+		rows := hst.Rows()
+		pts := make([][2]float64, 0, 2*len(rows))
+		for _, row := range rows {
+			pts = append(pts, [2]float64{f.x(row[0]), f.y(row[1])})
+		}
+		c.Polyline(pts, palette[hi%len(palette)], 1.6)
+	}
+	f.legend(names)
+	return c.String()
+}

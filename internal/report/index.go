@@ -1,0 +1,50 @@
+package report
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// IndexEntry is one figure on the generated report page.
+type IndexEntry struct {
+	ID      string
+	Title   string
+	SVGFile string // relative path the <img> references
+	Text    string // the figure's text rendering, shown below the chart
+}
+
+// HTMLIndex renders a standalone report page linking every generated SVG
+// with its numeric output — `resexsim -all -svg out/` writes it as
+// out/index.html so the whole reproduction can be browsed at once.
+func HTMLIndex(title string, entries []IndexEntry) string {
+	sorted := append([]IndexEntry(nil), entries...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].ID < sorted[j].ID })
+	var b strings.Builder
+	b.WriteString("<!DOCTYPE html>\n<html><head><meta charset=\"utf-8\">\n")
+	fmt.Fprintf(&b, "<title>%s</title>\n", escape(title))
+	b.WriteString(`<style>
+body { font-family: Helvetica, Arial, sans-serif; max-width: 860px; margin: 2em auto; color: #222; }
+h1 { font-size: 1.5em; } h2 { font-size: 1.15em; margin-top: 2.2em; }
+img { border: 1px solid #ddd; max-width: 100%; }
+pre { background: #f7f7f7; border: 1px solid #eee; padding: 0.8em; font-size: 12px; overflow-x: auto; }
+nav a { margin-right: 0.9em; }
+</style></head><body>
+`)
+	fmt.Fprintf(&b, "<h1>%s</h1>\n<nav>", escape(title))
+	for _, e := range sorted {
+		fmt.Fprintf(&b, `<a href="#%s">%s</a>`, escape(e.ID), escape(e.ID))
+	}
+	b.WriteString("</nav>\n")
+	for _, e := range sorted {
+		fmt.Fprintf(&b, `<h2 id="%s">%s — %s</h2>`+"\n", escape(e.ID), escape(e.ID), escape(e.Title))
+		if e.SVGFile != "" {
+			fmt.Fprintf(&b, `<img src="%s" alt="%s">`+"\n", escape(e.SVGFile), escape(e.Title))
+		}
+		if e.Text != "" {
+			fmt.Fprintf(&b, "<pre>%s</pre>\n", escape(e.Text))
+		}
+	}
+	b.WriteString("</body></html>\n")
+	return b.String()
+}

@@ -1,0 +1,35 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestHTMLIndex(t *testing.T) {
+	page := HTMLIndex("Ti<tle", []IndexEntry{
+		{ID: "fig2", Title: "Second", SVGFile: "fig2.svg", Text: "numbers & more"},
+		{ID: "fig1", Title: "First", SVGFile: "fig1.svg", Text: "rows"},
+	})
+	if !strings.HasPrefix(page, "<!DOCTYPE html>") || !strings.HasSuffix(page, "</html>\n") {
+		t.Fatalf("malformed page: %.40q", page)
+	}
+	// Escaped title, sorted order, images and text blocks present.
+	if !strings.Contains(page, "Ti&lt;tle") {
+		t.Error("title not escaped")
+	}
+	if strings.Index(page, `id="fig1"`) > strings.Index(page, `id="fig2"`) {
+		t.Error("entries not sorted by id")
+	}
+	for _, want := range []string{`<img src="fig1.svg"`, "<pre>numbers &amp; more</pre>", `href="#fig2"`} {
+		if !strings.Contains(page, want) {
+			t.Errorf("page missing %q", want)
+		}
+	}
+}
+
+func TestHTMLIndexEmpty(t *testing.T) {
+	page := HTMLIndex("empty", nil)
+	if !strings.Contains(page, "<h1>empty</h1>") {
+		t.Error("empty index broken")
+	}
+}

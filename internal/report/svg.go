@@ -1,0 +1,183 @@
+// Package report renders the reproduced figures as standalone SVG charts —
+// line charts for the timelines, grouped/stacked bars for the component
+// breakdowns, and histograms for the latency distributions — using nothing
+// but the standard library. cmd/resexsim -svg writes one SVG per figure.
+package report
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Palette used across all charts (colorblind-friendly).
+var palette = []string{
+	"#4477aa", "#ee6677", "#228833", "#ccbb44", "#66ccee", "#aa3377", "#bbbbbb",
+}
+
+// Canvas accumulates SVG elements.
+type Canvas struct {
+	W, H int
+	b    strings.Builder
+}
+
+// NewCanvas creates a canvas of the given pixel size.
+func NewCanvas(w, h int) *Canvas {
+	c := &Canvas{W: w, H: h}
+	fmt.Fprintf(&c.b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d" font-family="Helvetica,Arial,sans-serif">`+"\n", w, h, w, h)
+	fmt.Fprintf(&c.b, `<rect width="%d" height="%d" fill="white"/>`+"\n", w, h)
+	return c
+}
+
+// Line draws a line segment.
+func (c *Canvas) Line(x1, y1, x2, y2 float64, stroke string, width float64) {
+	fmt.Fprintf(&c.b, `<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="%s" stroke-width="%.1f"/>`+"\n",
+		x1, y1, x2, y2, stroke, width)
+}
+
+// Rect draws a filled rectangle.
+func (c *Canvas) Rect(x, y, w, h float64, fill string) {
+	if h < 0 {
+		y, h = y+h, -h
+	}
+	fmt.Fprintf(&c.b, `<rect x="%.1f" y="%.1f" width="%.1f" height="%.1f" fill="%s"/>`+"\n", x, y, w, h, fill)
+}
+
+// Polyline draws a connected path.
+func (c *Canvas) Polyline(pts [][2]float64, stroke string, width float64) {
+	if len(pts) == 0 {
+		return
+	}
+	var sb strings.Builder
+	for i, p := range pts {
+		if i > 0 {
+			sb.WriteByte(' ')
+		}
+		fmt.Fprintf(&sb, "%.1f,%.1f", p[0], p[1])
+	}
+	fmt.Fprintf(&c.b, `<polyline points="%s" fill="none" stroke="%s" stroke-width="%.1f"/>`+"\n",
+		sb.String(), stroke, width)
+}
+
+// Text draws text. anchor is "start", "middle" or "end".
+func (c *Canvas) Text(x, y float64, s string, size int, anchor string, fill string) {
+	fmt.Fprintf(&c.b, `<text x="%.1f" y="%.1f" font-size="%d" text-anchor="%s" fill="%s">%s</text>`+"\n",
+		x, y, size, anchor, fill, escape(s))
+}
+
+// TextRotated draws text rotated by deg around (x, y).
+func (c *Canvas) TextRotated(x, y float64, s string, size int, deg float64) {
+	fmt.Fprintf(&c.b, `<text x="%.1f" y="%.1f" font-size="%d" text-anchor="middle" transform="rotate(%.0f %.1f %.1f)">%s</text>`+"\n",
+		x, y, size, deg, x, y, escape(s))
+}
+
+// String finalizes and returns the SVG document.
+func (c *Canvas) String() string {
+	return c.b.String() + "</svg>\n"
+}
+
+func escape(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;")
+	return r.Replace(s)
+}
+
+// niceTicks returns ~n pleasant tick values spanning [lo, hi].
+func niceTicks(lo, hi float64, n int) []float64 {
+	if hi <= lo {
+		hi = lo + 1
+	}
+	if n < 2 {
+		n = 2
+	}
+	span := hi - lo
+	step := math.Pow(10, math.Floor(math.Log10(span/float64(n))))
+	for span/step > float64(n)*2 {
+		step *= 2
+		if span/step <= float64(n)*2 {
+			break
+		}
+		step *= 2.5
+	}
+	for span/step < float64(n)/2 {
+		step /= 2
+	}
+	start := math.Ceil(lo/step) * step
+	var ticks []float64
+	for v := start; v <= hi+step/1e6; v += step {
+		ticks = append(ticks, v)
+	}
+	return ticks
+}
+
+// formatTick renders a tick label compactly.
+func formatTick(v float64) string {
+	av := math.Abs(v)
+	switch {
+	case av >= 1e6:
+		return fmt.Sprintf("%.3gM", v/1e6)
+	case av >= 1e4:
+		return fmt.Sprintf("%.3gk", v/1e3)
+	case av == math.Trunc(av):
+		return fmt.Sprintf("%.0f", v)
+	default:
+		return fmt.Sprintf("%.3g", v)
+	}
+}
+
+// frame is the plotting area geometry shared by all chart types.
+type frame struct {
+	c             *Canvas
+	l, r, t, b    float64 // margins
+	xmin, xmax    float64
+	ymin, ymax    float64
+	title, xl, yl string
+}
+
+func newFrame(c *Canvas, title, xlabel, ylabel string) *frame {
+	return &frame{c: c, l: 70, r: 20, t: 40, b: 50, title: title, xl: xlabel, yl: ylabel}
+}
+
+func (f *frame) x(v float64) float64 {
+	return f.l + (v-f.xmin)/(f.xmax-f.xmin)*(float64(f.c.W)-f.l-f.r)
+}
+
+func (f *frame) y(v float64) float64 {
+	return float64(f.c.H) - f.b - (v-f.ymin)/(f.ymax-f.ymin)*(float64(f.c.H)-f.t-f.b)
+}
+
+// draw renders the axes, grid, ticks and labels.
+func (f *frame) draw() {
+	c := f.c
+	w, h := float64(c.W), float64(c.H)
+	c.Text(w/2, 22, f.title, 14, "middle", "#000")
+	// Axes.
+	c.Line(f.l, h-f.b, w-f.r, h-f.b, "#333", 1)
+	c.Line(f.l, f.t, f.l, h-f.b, "#333", 1)
+	// Y ticks + grid.
+	for _, v := range niceTicks(f.ymin, f.ymax, 6) {
+		y := f.y(v)
+		c.Line(f.l, y, w-f.r, y, "#e5e5e5", 0.7)
+		c.Line(f.l-4, y, f.l, y, "#333", 1)
+		c.Text(f.l-7, y+3.5, formatTick(v), 10, "end", "#333")
+	}
+	// X ticks.
+	for _, v := range niceTicks(f.xmin, f.xmax, 7) {
+		x := f.x(v)
+		c.Line(x, h-f.b, x, h-f.b+4, "#333", 1)
+		c.Text(x, h-f.b+16, formatTick(v), 10, "middle", "#333")
+	}
+	c.Text(w/2, h-12, f.xl, 11, "middle", "#000")
+	c.TextRotated(18, (f.t+h-f.b)/2, f.yl, 11, -90)
+}
+
+// legend draws a simple top-right legend.
+func (f *frame) legend(names []string) {
+	x := float64(f.c.W) - f.r - 150
+	y := f.t + 8
+	for i, name := range names {
+		col := palette[i%len(palette)]
+		f.c.Rect(x, y-8, 12, 8, col)
+		f.c.Text(x+17, y, name, 10, "start", "#333")
+		y += 15
+	}
+}

@@ -1,0 +1,446 @@
+// Package resex implements ResourceExchange (ResEx), the paper's core
+// contribution: a dom0 resource manager for virtualized RDMA platforms that
+// prices CPU and VMM-bypass I/O in a single currency (Resos) and enforces
+// pricing policies by adjusting VM CPU caps — the hypervisor's only lever
+// over bypass I/O.
+//
+// The manager runs in dom0. Every charge interval (1 ms) it
+//
+//  1. reads each monitored VM's MTUsSent from IBMon (memory introspection —
+//     the device is invisible to the hypervisor otherwise),
+//  2. reads each VM's CPU consumption from the hypervisor (XenStat),
+//  3. hands the per-interval usage to the active pricing policy, which
+//     converts it to Resos at per-VM charging rates, deducts it from the
+//     VM's account, and decides a CPU cap,
+//  4. applies cap changes via the credit scheduler.
+//
+// Every epoch (1 s = 1000 intervals) accounts replenish to their allocation
+// and leftover Resos are discarded.
+//
+// Two policies from the paper are provided: FreeMarket (§VI-B — fixed
+// prices, maximum utilization, graceful cap decay on Reso exhaustion) and
+// IOShares (§VI-C — congestion pricing driven by in-VM latency feedback).
+// The Policy interface accepts user-defined policies as well.
+package resex
+
+import (
+	"fmt"
+
+	"resex/internal/benchex"
+	"resex/internal/hca"
+	"resex/internal/ibmon"
+	"resex/internal/resos"
+	"resex/internal/sim"
+	"resex/internal/stats"
+	"resex/internal/xen"
+)
+
+// Config parameterizes the manager.
+type Config struct {
+	// Interval is the charging interval. Default 1 ms (paper §VI-A).
+	Interval sim.Time
+	// IntervalsPerEpoch sets the epoch length. Default 1000 (1 s epoch).
+	IntervalsPerEpoch int
+	// Supply describes the platform resources converted to Resos.
+	Supply resos.Supply
+	// MinResoFraction is the balance fraction below which the graceful cap
+	// decay engages (paper: 10%).
+	MinResoFraction float64
+	// MinEpochRemaining is the fraction of the epoch that must remain for
+	// the decay to engage (paper: 10%).
+	MinEpochRemaining float64
+	// CapDecay is the multiplicative cap decrease applied per interval
+	// while a VM is out of Resos (paper: decrement by 10% → 0.9).
+	CapDecay float64
+	// MinCap floors enforced caps, in percent.
+	MinCap int
+	// TickCost is dom0 CPU charged per manager interval, plus PerVMCost
+	// per monitored VM.
+	TickCost  sim.Time
+	PerVMCost sim.Time
+}
+
+func (c Config) withDefaults() Config {
+	if c.Interval <= 0 {
+		c.Interval = sim.Millisecond
+	}
+	if c.IntervalsPerEpoch <= 0 {
+		c.IntervalsPerEpoch = 1000
+	}
+	if c.Supply == (resos.Supply{}) {
+		c.Supply = resos.DefaultSupply()
+	}
+	if c.MinResoFraction == 0 {
+		c.MinResoFraction = 0.10
+	}
+	if c.MinEpochRemaining == 0 {
+		c.MinEpochRemaining = 0.10
+	}
+	if c.CapDecay == 0 {
+		c.CapDecay = 0.9
+	}
+	if c.MinCap <= 0 {
+		c.MinCap = 1
+	}
+	if c.TickCost == 0 {
+		c.TickCost = 2 * sim.Microsecond
+	}
+	if c.PerVMCost == 0 {
+		c.PerVMCost = sim.Microsecond
+	}
+	return c
+}
+
+// LatencyWindow summarizes the agent reports received for a VM during one
+// interval.
+type LatencyWindow struct {
+	Count int64
+	Mean  float64 // µs
+	Std   float64 // µs
+	Max   float64 // µs
+}
+
+// ManagedVM is one VM under ResEx control.
+type ManagedVM struct {
+	Dom     *xen.Domain
+	Account *resos.Account
+	targets []*ibmon.Target // one per watched CQ; usage is summed
+
+	// Policy state.
+	rate       float64 // current charging rate (Resos per unit); ≥ 1
+	cap        float64 // cap ResEx wants, percent; 100 = uncapped
+	capForced  bool    // cap is currently enforced (vs. left uncapped)
+	share      int     // Reso allocation weight (priority); default 1
+	lastMTUs   int64
+	mtuEwma    float64 // smoothed MTUs/interval, for robust attribution
+	lastCPU    sim.Time
+	reports    stats.Summary // agent reports since last interval (µs means)
+	reportStd  float64
+	baseline   float64 // SLA/learned base latency, µs
+	sla        float64 // explicit SLA latency (0 = learn)
+	cleanRuns  int     // consecutive intervals without interference
+	interfered bool    // last interval judged interfered
+}
+
+// Rate returns the VM's current charging rate.
+func (v *ManagedVM) Rate() float64 { return v.rate }
+
+// Cap returns the cap ResEx currently wants for the VM, in percent
+// (100 = uncapped).
+func (v *ManagedVM) Cap() float64 { return v.cap }
+
+// Baseline returns the latency reference (µs) used for interference
+// detection.
+func (v *ManagedVM) Baseline() float64 { return v.baseline }
+
+// Interfered reports whether the VM was judged interfered-with in the last
+// interval.
+func (v *ManagedVM) Interfered() bool { return v.interfered }
+
+// MTURate returns the smoothed MTUs-per-interval estimate.
+func (v *ManagedVM) MTURate() float64 { return v.mtuEwma }
+
+// VMTick is one VM's usage during one interval, as the policy sees it.
+type VMTick struct {
+	VM      *ManagedVM
+	MTUs    int64   // MTUs sent this interval (IBMon estimate)
+	CPUPct  float64 // CPU percent consumed this interval (XenStat)
+	Latency LatencyWindow
+}
+
+// IntervalData is the per-interval input to a policy.
+type IntervalData struct {
+	Index int64 // absolute interval index
+	Now   sim.Time
+	VMs   []VMTick
+}
+
+// TotalMTUs sums MTUs across all monitored VMs this interval.
+func (d *IntervalData) TotalMTUs() int64 {
+	var t int64
+	for _, v := range d.VMs {
+		t += v.MTUs
+	}
+	return t
+}
+
+// Policy is a pricing strategy: it converts usage into Reso charges and cap
+// decisions. Implementations must be deterministic.
+type Policy interface {
+	// Name labels the policy in output.
+	Name() string
+	// Interval processes one charging interval across all monitored VMs.
+	Interval(m *Manager, d *IntervalData)
+	// EpochStart is called at each epoch boundary, after accounts
+	// replenish.
+	EpochStart(m *Manager)
+}
+
+// Observer receives a snapshot after every interval (used to reproduce the
+// timeline figures).
+type Observer func(d *IntervalData)
+
+// Manager is the ResEx dom0 control loop.
+type Manager struct {
+	eng    *sim.Engine
+	hv     *xen.Hypervisor
+	mon    *ibmon.Monitor
+	vcpu   *xen.VCPU // dom0 VCPU; nil = unaccounted
+	cfg    Config
+	policy Policy
+	vms    []*ManagedVM
+	obs    []Observer
+
+	proc     *sim.Proc
+	running  bool
+	interval int64
+}
+
+// New creates a manager for one host. mon must be watching (or be able to
+// watch) the VMs that Manage adds; vcpu, when non-nil, is charged for the
+// control loop's work.
+func New(eng *sim.Engine, hv *xen.Hypervisor, mon *ibmon.Monitor, vcpu *xen.VCPU, policy Policy, cfg Config) *Manager {
+	return &Manager{
+		eng:    eng,
+		hv:     hv,
+		mon:    mon,
+		vcpu:   vcpu,
+		cfg:    cfg.withDefaults(),
+		policy: policy,
+	}
+}
+
+// Config returns the effective configuration.
+func (m *Manager) Config() Config { return m.cfg }
+
+// Policy returns the active pricing policy.
+func (m *Manager) Policy() Policy { return m.policy }
+
+// VMs returns the managed VMs.
+func (m *Manager) VMs() []*ManagedVM { return m.vms }
+
+// VM returns the managed VM for a domain, or nil.
+func (m *Manager) VM(dom xen.DomID) *ManagedVM {
+	for _, v := range m.vms {
+		if v.Dom.ID() == dom {
+			return v
+		}
+	}
+	return nil
+}
+
+// Observe registers an interval observer.
+func (m *Manager) Observe(o Observer) { m.obs = append(m.obs, o) }
+
+// Manage places a VM under ResEx control, watching its send completion
+// queue through IBMon introspection. slaLatencyUs, when positive, is the
+// latency reference for congestion detection; zero lets the manager learn
+// the VM's base latency from its quietest reports. The Reso allocation is
+// recomputed for all managed VMs (equal sharing of the link supply).
+func (m *Manager) Manage(dom *xen.Domain, sendCQ *hca.CQ, slaLatencyUs float64) (*ManagedVM, error) {
+	return m.ManageCQs(dom, []*hca.CQ{sendCQ}, slaLatencyUs)
+}
+
+// ManageCQs places a VM under ResEx control watching several of its
+// completion queues (typically everything the dom0 backend driver reports
+// for the domain — see splitdriver.Backend.CQsOf); per-interval usage sums
+// across them. Receive-side completions never count as MTUs sent, so
+// watching a recv CQ alongside the send CQ is harmless.
+func (m *Manager) ManageCQs(dom *xen.Domain, cqs []*hca.CQ, slaLatencyUs float64) (*ManagedVM, error) {
+	if m.hv.Domain(dom.ID()) != dom {
+		return nil, fmt.Errorf("resex: domain %q does not belong to this hypervisor", dom.Name())
+	}
+	if len(cqs) == 0 {
+		return nil, fmt.Errorf("resex: no CQs to watch for %q", dom.Name())
+	}
+	var targets []*ibmon.Target
+	for _, cq := range cqs {
+		tgt, err := m.mon.WatchCQ(dom.ID(), cq)
+		if err != nil {
+			return nil, fmt.Errorf("resex: watching %s: %w", dom.Name(), err)
+		}
+		targets = append(targets, tgt)
+	}
+	vm := &ManagedVM{
+		Dom:     dom,
+		targets: targets,
+		rate:    1,
+		cap:     100,
+		share:   1,
+		sla:     slaLatencyUs,
+	}
+	vm.Account = resos.NewAccount(dom.Name(), 0)
+	m.vms = append(m.vms, vm)
+	m.reallocate()
+	return vm, nil
+}
+
+// SetShare assigns a VM an allocation weight (priority). The I/O supply is
+// divided among managed VMs proportionally to their shares (paper §VI-A:
+// "Resos can also be distributed unequally, e.g., based on priority of the
+// VMs"); the per-VM CPU supply is unaffected since each VM owns a PCPU.
+// Takes effect at the next replenishment.
+func (m *Manager) SetShare(vm *ManagedVM, share int) {
+	if share < 1 {
+		share = 1
+	}
+	vm.share = share
+	m.reallocate()
+}
+
+// Share returns the VM's allocation weight.
+func (v *ManagedVM) Share() int { return v.share }
+
+// reallocate recomputes every managed VM's allocation from the supply and
+// the current shares. Balances adjust at the next replenishment (or
+// immediately for a VM that has not been charged yet this epoch).
+func (m *Manager) reallocate() {
+	total := 0
+	for _, v := range m.vms {
+		total += v.share
+	}
+	if total == 0 {
+		return
+	}
+	io := m.cfg.Supply.LinkMTUsPerEpoch
+	cpu := m.cfg.Supply.CPUAllocation()
+	for _, v := range m.vms {
+		alloc := cpu + resos.Amount(io*int64(v.share)/int64(total))
+		fresh := v.Account.Balance() == v.Account.Allocation()
+		v.Account.SetAllocation(alloc)
+		if fresh {
+			v.Account.Replenish()
+		}
+	}
+}
+
+// LatencyReport implements benchex.ReportSink: in-VM agents forward their
+// latency summaries here.
+func (m *Manager) LatencyReport(r benchex.LatencyReport) {
+	vm := m.VM(r.Domain)
+	if vm == nil {
+		return
+	}
+	vm.reports.AddN(r.Mean, r.Count)
+	if r.Std > vm.reportStd {
+		vm.reportStd = r.Std
+	}
+}
+
+// Start launches the control loop.
+func (m *Manager) Start() {
+	if m.running {
+		return
+	}
+	m.running = true
+	m.proc = m.eng.Go("resex-"+m.policy.Name(), m.run)
+}
+
+// Stop halts the control loop.
+func (m *Manager) Stop() {
+	m.running = false
+	if m.proc != nil && !m.proc.Ended() {
+		m.proc.Kill()
+	}
+}
+
+// run is the dom0 interval loop.
+func (m *Manager) run(p *sim.Proc) {
+	for m.running {
+		p.Sleep(m.cfg.Interval)
+		if m.vcpu != nil {
+			m.vcpu.Use(p, m.cfg.TickCost+sim.Time(len(m.vms))*m.cfg.PerVMCost)
+		}
+		m.tick()
+	}
+}
+
+// tick executes one charging interval.
+func (m *Manager) tick() {
+	m.interval++
+	d := &IntervalData{Index: m.interval, Now: m.eng.Now()}
+	for _, vm := range m.vms {
+		var sent int64
+		for _, tgt := range vm.targets {
+			sent += tgt.Usage().MTUsSent
+		}
+		mtus := sent - vm.lastMTUs
+		vm.lastMTUs = sent
+		vm.mtuEwma = 0.9*vm.mtuEwma + 0.1*float64(mtus)
+		cpu := vm.Dom.CPUTime()
+		pct := 100 * float64(cpu-vm.lastCPU) / float64(m.cfg.Interval)
+		vm.lastCPU = cpu
+
+		lw := LatencyWindow{
+			Count: vm.reports.Count(),
+			Mean:  vm.reports.Mean(),
+			Std:   vm.reportStd,
+			Max:   vm.reports.Max(),
+		}
+		vm.reports.Reset()
+		vm.reportStd = 0
+		d.VMs = append(d.VMs, VMTick{VM: vm, MTUs: mtus, CPUPct: pct, Latency: lw})
+
+		// Learn the base latency as the quietest sustained report level.
+		if lw.Count > 0 && vm.sla == 0 {
+			if vm.baseline == 0 || lw.Mean < vm.baseline {
+				vm.baseline = lw.Mean
+			}
+		}
+		if vm.sla > 0 {
+			vm.baseline = vm.sla
+		}
+	}
+
+	m.policy.Interval(m, d)
+
+	if m.interval%int64(m.cfg.IntervalsPerEpoch) == 0 {
+		for _, vm := range m.vms {
+			vm.Account.Replenish()
+		}
+		m.policy.EpochStart(m)
+	}
+	for _, o := range m.obs {
+		o(d)
+	}
+}
+
+// EpochFraction returns the elapsed fraction of the current epoch.
+func (m *Manager) EpochFraction() float64 {
+	per := int64(m.cfg.IntervalsPerEpoch)
+	return float64(m.interval%per) / float64(per)
+}
+
+// ApplyCap pushes a managed VM's desired cap to the hypervisor, flooring at
+// MinCap and treating ≥100 as "uncapped".
+func (m *Manager) ApplyCap(vm *ManagedVM, cap float64) {
+	if cap < float64(m.cfg.MinCap) {
+		cap = float64(m.cfg.MinCap)
+	}
+	if cap >= 100 {
+		vm.cap = 100
+		if vm.capForced {
+			vm.Dom.SetCap(0) // uncapped
+			vm.capForced = false
+		}
+		return
+	}
+	vm.cap = cap
+	vm.Dom.SetCap(int(cap + 0.5))
+	vm.capForced = true
+}
+
+// applyLowResoDecay is the graceful degradation both policies share
+// (paper §VI-B): when a VM's balance falls below MinResoFraction with more
+// than MinEpochRemaining of the epoch left, its cap decays multiplicatively
+// each interval instead of cutting the VM off abruptly.
+func (m *Manager) applyLowResoDecay(vm *ManagedVM) bool {
+	if vm.Account.Fraction() >= m.cfg.MinResoFraction {
+		return false
+	}
+	if 1-m.EpochFraction() <= m.cfg.MinEpochRemaining {
+		return false
+	}
+	m.ApplyCap(vm, vm.cap*m.cfg.CapDecay)
+	return true
+}

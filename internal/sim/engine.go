@@ -1,0 +1,211 @@
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// event is a single scheduled callback.
+type event struct {
+	at       Time
+	seq      uint64 // tie-breaker: FIFO among events at the same instant
+	fn       func()
+	canceled bool
+	index    int // heap index, -1 once popped
+}
+
+// eventHeap orders events by (at, seq).
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *eventHeap) Push(x any) {
+	ev := x.(*event)
+	ev.index = len(*h)
+	*h = append(*h, ev)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	ev.index = -1
+	*h = old[:n-1]
+	return ev
+}
+
+// Timer is a handle to a scheduled event; it can be canceled before it
+// fires. For recurring timers created with Every, Stop also prevents any
+// further rescheduling, even when called from inside the tick callback.
+type Timer struct {
+	ev      *event
+	stopped bool
+}
+
+// Stop cancels the timer. It reports whether a pending event was canceled.
+func (t *Timer) Stop() bool {
+	if t == nil || t.stopped {
+		return false
+	}
+	t.stopped = true
+	if t.ev == nil || t.ev.canceled || t.ev.index == -1 {
+		return false
+	}
+	t.ev.canceled = true
+	return true
+}
+
+// When returns the virtual time the timer is scheduled for.
+func (t *Timer) When() Time { return t.ev.at }
+
+// Engine is a discrete-event simulation executor. The zero value is not
+// usable; create engines with New.
+//
+// Engines are strictly single-threaded: events run one at a time on the
+// goroutine that called Run/RunUntil/Step, and processes created with Go are
+// coscheduled so only one of them (or the engine) executes at any moment.
+type Engine struct {
+	now     Time
+	events  eventHeap
+	seq     uint64
+	procs   map[*Proc]struct{}
+	stepped uint64
+	inEvent bool
+	stopped bool
+}
+
+// New returns an empty engine with the clock at zero.
+func New() *Engine {
+	return &Engine{procs: make(map[*Proc]struct{})}
+}
+
+// Now returns the current virtual time.
+func (e *Engine) Now() Time { return e.now }
+
+// Steps returns the number of events executed so far (a cheap progress and
+// determinism probe).
+func (e *Engine) Steps() uint64 { return e.stepped }
+
+// Schedule registers fn to run at the absolute virtual time at. Scheduling in
+// the past (before Now) panics: it would silently reorder causality.
+func (e *Engine) Schedule(at Time, fn func()) *Timer {
+	if at < e.now {
+		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", at, e.now))
+	}
+	e.seq++
+	ev := &event{at: at, seq: e.seq, fn: fn}
+	heap.Push(&e.events, ev)
+	return &Timer{ev: ev}
+}
+
+// After registers fn to run d from now.
+func (e *Engine) After(d Time, fn func()) *Timer {
+	if d < 0 {
+		d = 0
+	}
+	return e.Schedule(e.now+d, fn)
+}
+
+// Every schedules fn at now+d, now+2d, ... until the returned Timer is
+// stopped. fn observes the tick time via Engine.Now.
+func (e *Engine) Every(d Time, fn func()) *Timer {
+	if d <= 0 {
+		panic("sim: Every requires a positive period")
+	}
+	t := &Timer{}
+	var tick func()
+	tick = func() {
+		fn()
+		if !t.stopped {
+			t.ev = e.After(d, tick).ev
+		}
+	}
+	t.ev = e.After(d, tick).ev
+	return t
+}
+
+// Step executes the single earliest pending event. It reports false when no
+// events remain.
+func (e *Engine) Step() bool {
+	for e.events.Len() > 0 {
+		ev := heap.Pop(&e.events).(*event)
+		if ev.canceled {
+			continue
+		}
+		e.now = ev.at
+		e.stepped++
+		e.inEvent = true
+		ev.fn()
+		e.inEvent = false
+		return true
+	}
+	return false
+}
+
+// peek returns the time of the earliest non-canceled pending event.
+func (e *Engine) peek() (Time, bool) {
+	for e.events.Len() > 0 {
+		if e.events[0].canceled {
+			heap.Pop(&e.events)
+			continue
+		}
+		return e.events[0].at, true
+	}
+	return 0, false
+}
+
+// Run executes events until none remain or Stop is called.
+func (e *Engine) Run() {
+	e.stopped = false
+	for !e.stopped && e.Step() {
+	}
+}
+
+// RunUntil executes events with timestamps <= t, then advances the clock to
+// exactly t (even if no event lands there).
+func (e *Engine) RunUntil(t Time) {
+	e.stopped = false
+	for !e.stopped {
+		at, ok := e.peek()
+		if !ok || at > t {
+			break
+		}
+		e.Step()
+	}
+	if e.now < t {
+		e.now = t
+	}
+}
+
+// Stop makes the innermost Run/RunUntil return after the current event
+// completes. Pending events are preserved.
+func (e *Engine) Stop() { e.stopped = true }
+
+// Pending returns the number of scheduled (non-canceled) events.
+func (e *Engine) Pending() int {
+	n := 0
+	for _, ev := range e.events {
+		if !ev.canceled {
+			n++
+		}
+	}
+	return n
+}
+
+// Shutdown kills every live process so their goroutines exit. Call at the end
+// of a simulation that still has parked processes.
+func (e *Engine) Shutdown() {
+	for p := range e.procs {
+		p.Kill()
+	}
+}

@@ -1,0 +1,237 @@
+package sim
+
+import "fmt"
+
+// killSignal is the panic payload used to unwind a killed process.
+type killSignal struct{}
+
+// Proc is a simulation process: ordinary imperative Go code running on its
+// own goroutine, coscheduled with the engine so that exactly one of
+// {engine, some process} executes at a time. A process blocks by parking
+// (Sleep, Signal.Wait, ...), which returns control to the engine; the engine
+// later resumes it from an event callback.
+//
+// All Proc methods must be called from the process's own goroutine, except
+// Kill, Ended and Err, which are engine-side.
+type Proc struct {
+	eng     *Engine
+	name    string
+	resume  chan struct{}
+	yield   chan struct{}
+	started bool
+	ended   bool
+	killed  bool
+	err     any
+	endSig  *Signal
+}
+
+// Go spawns fn as a new process starting at the current virtual time. The
+// name is used in diagnostics only.
+func (e *Engine) Go(name string, fn func(*Proc)) *Proc {
+	p := &Proc{
+		eng:    e,
+		name:   name,
+		resume: make(chan struct{}),
+		yield:  make(chan struct{}),
+	}
+	p.endSig = NewSignal(e)
+	e.procs[p] = struct{}{}
+	e.After(0, func() {
+		if p.killed {
+			p.finish()
+			return
+		}
+		p.started = true
+		go p.body(fn)
+		p.dispatch()
+	})
+	return p
+}
+
+// finish marks a never-started process as ended.
+func (p *Proc) finish() {
+	p.ended = true
+	delete(p.eng.procs, p)
+	p.endSig.Broadcast()
+}
+
+// body is the process goroutine entry point.
+func (p *Proc) body(fn func(*Proc)) {
+	defer func() {
+		if r := recover(); r != nil {
+			if _, ok := r.(killSignal); !ok {
+				p.err = r
+			}
+		}
+		p.ended = true
+		delete(p.eng.procs, p)
+		p.endSig.Broadcast()
+		p.yield <- struct{}{}
+	}()
+	<-p.resume
+	if p.killed {
+		panic(killSignal{})
+	}
+	fn(p)
+}
+
+// dispatch transfers control from the engine to the process and waits for it
+// to park or end. Engine-side only.
+func (p *Proc) dispatch() {
+	if p.ended {
+		return
+	}
+	p.resume <- struct{}{}
+	<-p.yield
+	if p.err != nil {
+		err := p.err
+		p.err = nil
+		panic(fmt.Sprintf("sim: process %q panicked: %v", p.name, err))
+	}
+}
+
+// park transfers control from the process back to the engine and blocks
+// until the engine dispatches it again. Process-side only.
+func (p *Proc) park() {
+	p.yield <- struct{}{}
+	<-p.resume
+	if p.killed {
+		panic(killSignal{})
+	}
+}
+
+// Name returns the diagnostic name of the process.
+func (p *Proc) Name() string { return p.name }
+
+// Engine returns the engine that owns the process.
+func (p *Proc) Engine() *Engine { return p.eng }
+
+// Now returns the current virtual time.
+func (p *Proc) Now() Time { return p.eng.now }
+
+// Ended reports whether the process has finished (returned, panicked, or
+// been killed).
+func (p *Proc) Ended() bool { return p.ended }
+
+// Sleep parks the process for d of virtual time. A non-positive d yields the
+// processor for zero time (other events at the same instant run first).
+func (p *Proc) Sleep(d Time) {
+	if d < 0 {
+		d = 0
+	}
+	p.eng.Schedule(p.eng.now+d, p.dispatch)
+	p.park()
+}
+
+// Kill forcibly terminates a parked or not-yet-started process. It is a
+// no-op on an already-ended process. Killing the currently running process
+// from itself is not supported; return from fn instead.
+func (p *Proc) Kill() {
+	if p.ended || p.killed {
+		return
+	}
+	p.killed = true
+	if !p.started {
+		// Start event has not run yet; it will observe killed and finish
+		// the process without launching its goroutine.
+		return
+	}
+	// The strict engine/process handoff guarantees that a started, non-ended
+	// process is parked on p.resume whenever any other code runs, so a
+	// blocking resume is safe: the process unwinds via killSignal and yields.
+	p.resume <- struct{}{}
+	<-p.yield
+}
+
+// Join parks until other has ended.
+func (p *Proc) Join(other *Proc) {
+	if other.ended {
+		return
+	}
+	other.endSig.Wait(p)
+}
+
+// WaitAny parks p until s broadcasts (or wakes p) or until d elapses,
+// whichever comes first. It reports whether the signal fired before the
+// timeout. A stale registration left behind by a timeout is inert.
+func (p *Proc) WaitAny(s *Signal, d Time) (signaled bool) {
+	done := false
+	var timer *Timer
+	s.Notify(func() {
+		if done {
+			return
+		}
+		done = true
+		signaled = true
+		timer.Stop()
+		p.dispatch()
+	})
+	timer = p.eng.After(d, func() {
+		if done {
+			return
+		}
+		done = true
+		p.dispatch()
+	})
+	p.park()
+	return signaled
+}
+
+// Signal is a broadcast-style condition: processes park on it with Wait and
+// are released together by Broadcast (or one at a time by Wake). There is no
+// payload and no memory: a Broadcast with no waiters is lost, so callers
+// re-check their condition in a loop, exactly like sync.Cond.
+type Signal struct {
+	eng     *Engine
+	waiters []*Proc
+	funcs   []func()
+}
+
+// NewSignal returns a Signal bound to e.
+func NewSignal(e *Engine) *Signal { return &Signal{eng: e} }
+
+// Wait parks p until the next Broadcast/Wake.
+func (s *Signal) Wait(p *Proc) {
+	s.waiters = append(s.waiters, p)
+	p.park()
+}
+
+// Notify registers fn to be called (as an immediate event) on the next
+// Broadcast. One-shot, callback flavour of Wait for event-style code.
+func (s *Signal) Notify(fn func()) { s.funcs = append(s.funcs, fn) }
+
+// Broadcast releases all current waiters. Each resumes via its own
+// zero-delay event, preserving determinism regardless of caller context.
+func (s *Signal) Broadcast() {
+	waiters := s.waiters
+	s.waiters = nil
+	funcs := s.funcs
+	s.funcs = nil
+	for _, w := range waiters {
+		w := w
+		s.eng.After(0, w.dispatch)
+	}
+	for _, fn := range funcs {
+		s.eng.After(0, fn)
+	}
+}
+
+// Wake releases a single waiter (FIFO); it reports whether one was waiting.
+func (s *Signal) Wake() bool {
+	if len(s.waiters) == 0 {
+		if len(s.funcs) > 0 {
+			fn := s.funcs[0]
+			s.funcs = s.funcs[1:]
+			s.eng.After(0, fn)
+			return true
+		}
+		return false
+	}
+	w := s.waiters[0]
+	s.waiters = s.waiters[1:]
+	s.eng.After(0, w.dispatch)
+	return true
+}
+
+// Waiters returns the number of parked processes and pending callbacks.
+func (s *Signal) Waiters() int { return len(s.waiters) + len(s.funcs) }

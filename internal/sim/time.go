@@ -1,0 +1,71 @@
+// Package sim implements a deterministic discrete-event simulation engine.
+//
+// The engine advances a virtual clock (nanosecond resolution) by executing
+// scheduled events in timestamp order. On top of raw events it offers
+// goroutine-backed processes (Proc) that run strictly one at a time and hand
+// control back to the engine whenever they block, so a simulation that mixes
+// imperative process code with event callbacks stays fully deterministic:
+// the same seed always produces byte-identical results.
+//
+// Every other package in this repository — the Xen-like hypervisor, the
+// InfiniBand HCA and fabric models, IBMon, ResEx, and BenchEx — is built on
+// this engine.
+package sim
+
+import "fmt"
+
+// Time is a point in virtual time, in nanoseconds since the start of the
+// simulation. It doubles as a duration; arithmetic on Time values is plain
+// integer arithmetic.
+type Time int64
+
+// Convenient duration units expressed as Time values.
+const (
+	Nanosecond  Time = 1
+	Microsecond Time = 1000 * Nanosecond
+	Millisecond Time = 1000 * Microsecond
+	Second      Time = 1000 * Millisecond
+)
+
+// MaxTime is the largest representable simulation time.
+const MaxTime Time = 1<<63 - 1
+
+// Microseconds returns t expressed in (fractional) microseconds.
+func (t Time) Microseconds() float64 { return float64(t) / float64(Microsecond) }
+
+// Milliseconds returns t expressed in (fractional) milliseconds.
+func (t Time) Milliseconds() float64 { return float64(t) / float64(Millisecond) }
+
+// Seconds returns t expressed in (fractional) seconds.
+func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
+
+// String renders t in the most natural unit for its magnitude.
+func (t Time) String() string {
+	switch {
+	case t < 0:
+		return fmt.Sprintf("%dns", int64(t))
+	case t < Microsecond:
+		return fmt.Sprintf("%dns", int64(t))
+	case t < Millisecond:
+		return fmt.Sprintf("%.3fµs", t.Microseconds())
+	case t < Second:
+		return fmt.Sprintf("%.3fms", t.Milliseconds())
+	default:
+		return fmt.Sprintf("%.6fs", t.Seconds())
+	}
+}
+
+// DurationOfBytes returns the time needed to move n bytes at rate bytesPerSec.
+// It rounds up to the next nanosecond so that nonzero transfers always take
+// nonzero time.
+func DurationOfBytes(n int64, bytesPerSec float64) Time {
+	if n <= 0 || bytesPerSec <= 0 {
+		return 0
+	}
+	ns := float64(n) / bytesPerSec * 1e9
+	t := Time(ns)
+	if float64(t) < ns {
+		t++
+	}
+	return t
+}

@@ -1,0 +1,125 @@
+package stats
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Histogram counts observations into fixed-width buckets over [Lo, Hi).
+// Observations outside the range are counted in under/overflow bins so no
+// data is silently dropped. It reproduces the frequency-distribution plots
+// of the paper (Figure 1).
+type Histogram struct {
+	lo, hi  float64
+	width   float64
+	buckets []int64
+	under   int64
+	over    int64
+	total   int64
+}
+
+// NewHistogram creates a histogram of n equal buckets spanning [lo, hi).
+func NewHistogram(lo, hi float64, n int) *Histogram {
+	if n <= 0 || hi <= lo {
+		panic(fmt.Sprintf("stats: invalid histogram [%v,%v) n=%d", lo, hi, n))
+	}
+	return &Histogram{lo: lo, hi: hi, width: (hi - lo) / float64(n), buckets: make([]int64, n)}
+}
+
+// Add records one observation.
+func (h *Histogram) Add(x float64) {
+	h.total++
+	switch {
+	case x < h.lo:
+		h.under++
+	case x >= h.hi:
+		h.over++
+	default:
+		i := int((x - h.lo) / h.width)
+		if i >= len(h.buckets) { // float edge at hi
+			i = len(h.buckets) - 1
+		}
+		h.buckets[i]++
+	}
+}
+
+// Count returns the total number of observations, including out-of-range.
+func (h *Histogram) Count() int64 { return h.total }
+
+// Underflow and Overflow return the out-of-range counts.
+func (h *Histogram) Underflow() int64 { return h.under }
+
+// Overflow returns the count of observations ≥ Hi.
+func (h *Histogram) Overflow() int64 { return h.over }
+
+// Buckets returns the number of in-range buckets.
+func (h *Histogram) Buckets() int { return len(h.buckets) }
+
+// BucketCount returns the count in bucket i.
+func (h *Histogram) BucketCount(i int) int64 { return h.buckets[i] }
+
+// BucketLo returns the inclusive lower bound of bucket i.
+func (h *Histogram) BucketLo(i int) float64 { return h.lo + float64(i)*h.width }
+
+// BucketMid returns the midpoint of bucket i.
+func (h *Histogram) BucketMid(i int) float64 { return h.lo + (float64(i)+0.5)*h.width }
+
+// Mode returns the midpoint of the fullest bucket (0 when empty).
+func (h *Histogram) Mode() float64 {
+	best, bestCount := -1, int64(0)
+	for i, c := range h.buckets {
+		if c > bestCount {
+			best, bestCount = i, c
+		}
+	}
+	if best < 0 {
+		return 0
+	}
+	return h.BucketMid(best)
+}
+
+// Rows returns (bucket lower bound, count) pairs for plotting, skipping
+// leading and trailing empty buckets.
+func (h *Histogram) Rows() [][2]float64 {
+	first, last := -1, -1
+	for i, c := range h.buckets {
+		if c > 0 {
+			if first < 0 {
+				first = i
+			}
+			last = i
+		}
+	}
+	if first < 0 {
+		return nil
+	}
+	rows := make([][2]float64, 0, last-first+1)
+	for i := first; i <= last; i++ {
+		rows = append(rows, [2]float64{h.BucketLo(i), float64(h.buckets[i])})
+	}
+	return rows
+}
+
+// Render draws a textual bar chart of the occupied range, maxWidth columns
+// wide, for terminal output of figure data.
+func (h *Histogram) Render(maxWidth int) string {
+	rows := h.Rows()
+	if len(rows) == 0 {
+		return "(empty)\n"
+	}
+	var peak float64
+	for _, r := range rows {
+		if r[1] > peak {
+			peak = r[1]
+		}
+	}
+	var b strings.Builder
+	for _, r := range rows {
+		bar := 0
+		if peak > 0 {
+			bar = int(r[1] / peak * float64(maxWidth))
+		}
+		fmt.Fprintf(&b, "%10.1f | %-*s %d\n", r[0], maxWidth, strings.Repeat("#", bar), int64(r[1]))
+	}
+	return b.String()
+}

@@ -1,0 +1,164 @@
+package trace
+
+import (
+	"fmt"
+
+	"resex/internal/finance"
+	"resex/internal/sim"
+)
+
+// Instrument is one tradable option series in the synthetic universe.
+type Instrument struct {
+	ID     uint32
+	Symbol string
+	Spot   float64
+	Strike float64
+	Vol    float64
+	Expiry float64
+}
+
+// GeneratorConfig parameterizes the workload.
+type GeneratorConfig struct {
+	// Symbols is the instrument universe size. Default 64.
+	Symbols int
+	// MeanInterarrival is the average gap between requests. Zero means the
+	// caller paces requests itself (closed-loop benchmarking).
+	MeanInterarrival sim.Time
+	// Burstiness in [0,1): fraction of time spent in a quiet phase during
+	// which arrivals slow 10×, alternating with fast phases. 0 = plain
+	// Poisson. Models the open/close bursts of exchange traffic.
+	Burstiness float64
+	// Mix weights for request types (NewOrder, Cancel, Quote, Feed);
+	// zero-valued defaults to 55/15/20/10, an order-gateway-like mix.
+	MixNewOrder, MixCancel, MixQuote, MixFeed int
+	// Rate is the risk-free rate stamped on options. Default 3%.
+	Rate float64
+}
+
+func (c GeneratorConfig) withDefaults() GeneratorConfig {
+	if c.Symbols <= 0 {
+		c.Symbols = 64
+	}
+	if c.MixNewOrder == 0 && c.MixCancel == 0 && c.MixQuote == 0 && c.MixFeed == 0 {
+		c.MixNewOrder, c.MixCancel, c.MixQuote, c.MixFeed = 55, 15, 20, 10
+	}
+	if c.Rate == 0 {
+		c.Rate = 0.03
+	}
+	if c.Burstiness < 0 {
+		c.Burstiness = 0
+	}
+	if c.Burstiness >= 1 {
+		c.Burstiness = 0.99
+	}
+	return c
+}
+
+// Generator produces the request stream. It is deterministic given a seed.
+type Generator struct {
+	cfg     GeneratorConfig
+	rng     *sim.Rand
+	univ    []Instrument
+	seq     uint64
+	inBurst bool
+	phaseTo sim.Time
+	now     sim.Time
+}
+
+// NewGenerator builds a generator with its own instrument universe.
+func NewGenerator(seed int64, cfg GeneratorConfig) *Generator {
+	cfg = cfg.withDefaults()
+	g := &Generator{cfg: cfg, rng: sim.NewRand(seed), inBurst: true}
+	for i := 0; i < cfg.Symbols; i++ {
+		spot := g.rng.Uniform(20, 500)
+		g.univ = append(g.univ, Instrument{
+			ID:     uint32(i),
+			Symbol: fmt.Sprintf("SYM%03d", i),
+			Spot:   spot,
+			Strike: spot * g.rng.Uniform(0.8, 1.2),
+			Vol:    g.rng.Uniform(0.1, 0.6),
+			Expiry: g.rng.Uniform(0.05, 2.0),
+		})
+	}
+	return g
+}
+
+// Universe returns the instrument list.
+func (g *Generator) Universe() []Instrument { return g.univ }
+
+// Next produces the next request, advancing instrument prices by a small
+// random walk so consecutive requests are not identical.
+func (g *Generator) Next(now sim.Time) Request {
+	g.seq++
+	ins := &g.univ[g.rng.Intn(len(g.univ))]
+	// Bounded multiplicative random walk keeps prices positive.
+	ins.Spot *= 1 + g.rng.Normal(0, 0.001)
+	if ins.Spot < 1 {
+		ins.Spot = 1
+	}
+	kind := finance.Call
+	if g.rng.Float64() < 0.5 {
+		kind = finance.Put
+	}
+	return Request{
+		Seq:      g.seq,
+		SentAt:   now,
+		Type:     g.pickType(),
+		SymbolID: ins.ID,
+		Side:     Side(1 + g.rng.Intn(2)),
+		Qty:      uint32(1 + g.rng.Intn(1000)),
+		Option: finance.Option{
+			Kind:   kind,
+			Spot:   ins.Spot,
+			Strike: ins.Strike,
+			Vol:    ins.Vol,
+			Expiry: ins.Expiry,
+			Rate:   g.cfg.Rate,
+		},
+	}
+}
+
+// pickType draws a request type from the configured mix.
+func (g *Generator) pickType() RequestType {
+	total := g.cfg.MixNewOrder + g.cfg.MixCancel + g.cfg.MixQuote + g.cfg.MixFeed
+	n := g.rng.Intn(total)
+	switch {
+	case n < g.cfg.MixNewOrder:
+		return NewOrder
+	case n < g.cfg.MixNewOrder+g.cfg.MixCancel:
+		return CancelOrder
+	case n < g.cfg.MixNewOrder+g.cfg.MixCancel+g.cfg.MixQuote:
+		return QuoteRequest
+	default:
+		return FeedRequest
+	}
+}
+
+// Interarrival returns the gap before the next request. With burstiness
+// configured, the generator alternates fast and quiet phases.
+func (g *Generator) Interarrival() sim.Time {
+	mean := g.cfg.MeanInterarrival
+	if mean <= 0 {
+		return 0
+	}
+	if g.cfg.Burstiness > 0 {
+		if g.now >= g.phaseTo {
+			// Phase change. Quiet phases are longer in proportion to the
+			// burstiness knob.
+			g.inBurst = !g.inBurst
+			var dur sim.Time
+			if g.inBurst {
+				dur = g.rng.ExpDuration(20 * mean)
+			} else {
+				dur = g.rng.ExpDuration(sim.Time(float64(20*mean) * g.cfg.Burstiness * 10))
+			}
+			g.phaseTo = g.now + dur
+		}
+		if !g.inBurst {
+			mean *= 10
+		}
+	}
+	d := g.rng.ExpDuration(mean)
+	g.now += d
+	return d
+}

@@ -1,0 +1,239 @@
+package trace
+
+import (
+	"testing"
+	"testing/quick"
+
+	"resex/internal/finance"
+	"resex/internal/sim"
+)
+
+func TestRequestEncodeDecodeRoundTrip(t *testing.T) {
+	r := Request{
+		Seq:      123456789,
+		SentAt:   987654321,
+		Type:     QuoteRequest,
+		SymbolID: 42,
+		Side:     Sell,
+		Qty:      999,
+		Option: finance.Option{
+			Kind: finance.Put, Spot: 101.25, Strike: 99.5,
+			Vol: 0.23, Expiry: 1.5, Rate: 0.04,
+		},
+	}
+	b := make([]byte, RequestSize)
+	if err := r.Encode(b); err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeRequest(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != r {
+		t.Errorf("round trip:\n got %+v\nwant %+v", got, r)
+	}
+}
+
+func TestRequestEncodeDecodeProperty(t *testing.T) {
+	f := func(seq uint64, sym uint32, qty uint16, spot, strike float64, put bool) bool {
+		r := Request{
+			Seq: seq, SentAt: 5, Type: NewOrder, SymbolID: sym,
+			Side: Buy, Qty: uint32(qty),
+			Option: finance.Option{Spot: spot, Strike: strike, Vol: 0.2, Expiry: 1, Rate: 0.01},
+		}
+		if put {
+			r.Option.Kind = finance.Put
+		}
+		b := make([]byte, RequestSize)
+		if r.Encode(b) != nil {
+			return false
+		}
+		got, err := DecodeRequest(b)
+		if err != nil {
+			return false
+		}
+		return got == r
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestResponseRoundTrip(t *testing.T) {
+	r := Response{Seq: 7, SentAt: 100, ServerAt: 300, Price: 10.4506, Status: 1}
+	b := make([]byte, ResponseSize)
+	if err := r.Encode(b); err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeResponse(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != r {
+		t.Errorf("round trip: %+v vs %+v", got, r)
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	if _, err := DecodeRequest(make([]byte, 8)); err != ErrShortBuffer {
+		t.Errorf("short request: %v", err)
+	}
+	if _, err := DecodeResponse(make([]byte, 8)); err != ErrShortBuffer {
+		t.Errorf("short response: %v", err)
+	}
+	if _, err := DecodeRequest(make([]byte, RequestSize)); err != ErrBadMagic {
+		t.Errorf("zero request: %v", err)
+	}
+	if _, err := DecodeResponse(make([]byte, ResponseSize)); err != ErrBadMagic {
+		t.Errorf("zero response: %v", err)
+	}
+	var r Request
+	if err := r.Encode(make([]byte, 4)); err != ErrShortBuffer {
+		t.Errorf("short encode: %v", err)
+	}
+	var resp Response
+	if err := resp.Encode(make([]byte, 4)); err != ErrShortBuffer {
+		t.Errorf("short encode: %v", err)
+	}
+}
+
+func TestGeneratorDeterminism(t *testing.T) {
+	a := NewGenerator(42, GeneratorConfig{})
+	b := NewGenerator(42, GeneratorConfig{})
+	for i := 0; i < 100; i++ {
+		ra, rb := a.Next(sim.Time(i)), b.Next(sim.Time(i))
+		if ra != rb {
+			t.Fatalf("same-seed generators diverged at %d", i)
+		}
+	}
+	c := NewGenerator(43, GeneratorConfig{})
+	same := true
+	for i := 0; i < 10; i++ {
+		if a.Next(0) != c.Next(0) {
+			same = false
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical streams")
+	}
+}
+
+func TestGeneratorUniverse(t *testing.T) {
+	g := NewGenerator(1, GeneratorConfig{Symbols: 10})
+	u := g.Universe()
+	if len(u) != 10 {
+		t.Fatalf("universe size %d", len(u))
+	}
+	for i, ins := range u {
+		if ins.ID != uint32(i) || ins.Spot <= 0 || ins.Vol <= 0 || ins.Expiry <= 0 {
+			t.Errorf("instrument %d invalid: %+v", i, ins)
+		}
+		if ins.Symbol == "" {
+			t.Errorf("instrument %d has no symbol", i)
+		}
+	}
+}
+
+func TestGeneratedRequestsAreValidAndPriceable(t *testing.T) {
+	g := NewGenerator(7, GeneratorConfig{})
+	for i := 0; i < 1000; i++ {
+		r := g.Next(sim.Time(i))
+		if r.Seq != uint64(i+1) {
+			t.Fatalf("seq %d at %d", r.Seq, i)
+		}
+		if !r.Option.Valid() {
+			t.Fatalf("invalid option generated: %+v", r.Option)
+		}
+		if _, err := r.Option.Price(); err != nil {
+			t.Fatalf("unpriceable request: %v", err)
+		}
+		if r.Side != Buy && r.Side != Sell {
+			t.Fatalf("bad side %v", r.Side)
+		}
+		if r.Qty < 1 || r.Qty > 1000 {
+			t.Fatalf("bad qty %d", r.Qty)
+		}
+	}
+}
+
+func TestRequestTypeMix(t *testing.T) {
+	g := NewGenerator(11, GeneratorConfig{})
+	counts := map[RequestType]int{}
+	n := 20000
+	for i := 0; i < n; i++ {
+		counts[g.Next(0).Type]++
+	}
+	frac := func(rt RequestType) float64 { return float64(counts[rt]) / float64(n) }
+	if f := frac(NewOrder); f < 0.5 || f > 0.6 {
+		t.Errorf("NewOrder fraction = %.3f, want ~0.55", f)
+	}
+	if f := frac(CancelOrder); f < 0.10 || f > 0.20 {
+		t.Errorf("Cancel fraction = %.3f, want ~0.15", f)
+	}
+	if f := frac(QuoteRequest); f < 0.15 || f > 0.25 {
+		t.Errorf("Quote fraction = %.3f, want ~0.20", f)
+	}
+	if f := frac(FeedRequest); f < 0.05 || f > 0.15 {
+		t.Errorf("Feed fraction = %.3f, want ~0.10", f)
+	}
+}
+
+func TestInterarrivalPoisson(t *testing.T) {
+	g := NewGenerator(3, GeneratorConfig{MeanInterarrival: 100 * sim.Microsecond})
+	var sum sim.Time
+	n := 20000
+	for i := 0; i < n; i++ {
+		d := g.Interarrival()
+		if d < 1 {
+			t.Fatal("non-positive interarrival")
+		}
+		sum += d
+	}
+	mean := float64(sum) / float64(n)
+	want := float64(100 * sim.Microsecond)
+	if mean < want*0.95 || mean > want*1.05 {
+		t.Errorf("mean interarrival %.0fns, want ~%.0f", mean, want)
+	}
+}
+
+func TestInterarrivalClosedLoop(t *testing.T) {
+	g := NewGenerator(3, GeneratorConfig{})
+	if g.Interarrival() != 0 {
+		t.Error("closed-loop generator should return 0 interarrival")
+	}
+}
+
+func TestInterarrivalBursty(t *testing.T) {
+	smooth := NewGenerator(5, GeneratorConfig{MeanInterarrival: 100 * sim.Microsecond})
+	bursty := NewGenerator(5, GeneratorConfig{MeanInterarrival: 100 * sim.Microsecond, Burstiness: 0.8})
+	varOf := func(g *Generator) float64 {
+		var xs []float64
+		for i := 0; i < 30000; i++ {
+			xs = append(xs, float64(g.Interarrival()))
+		}
+		var m float64
+		for _, x := range xs {
+			m += x
+		}
+		m /= float64(len(xs))
+		var v float64
+		for _, x := range xs {
+			v += (x - m) * (x - m)
+		}
+		return v / float64(len(xs)) / (m * m) // squared coefficient of variation
+	}
+	cv2s, cv2b := varOf(smooth), varOf(bursty)
+	if cv2b <= cv2s*1.5 {
+		t.Errorf("bursty CV² %.2f not above smooth CV² %.2f", cv2b, cv2s)
+	}
+}
+
+func TestRequestTypeStrings(t *testing.T) {
+	if NewOrder.String() != "new-order" || CancelOrder.String() != "cancel" ||
+		QuoteRequest.String() != "quote" || FeedRequest.String() != "feed" {
+		t.Error("type names")
+	}
+	if RequestType(99).String() != "type(99)" {
+		t.Error("unknown type name")
+	}
+}
