@@ -358,6 +358,32 @@ func BenchmarkAblationPollingVsEvents(b *testing.B) {
 	b.Run("events", func(b *testing.B) { run(b, true) })
 }
 
+// BenchmarkAblPlacement regenerates the placement ablation and reports the
+// SLA-attainment gap between interference-aware and random placement at the
+// larger fleet scale (8 hosts, 16 VMs).
+func BenchmarkAblPlacement(b *testing.B) {
+	var ia, rd float64
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.AblPlacement(benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, row := range r.Rows {
+			if row.Hosts != 8 {
+				continue
+			}
+			switch row.Strategy {
+			case "intf-aware":
+				ia = row.SLAPct
+			case "random":
+				rd = row.SLAPct
+			}
+		}
+	}
+	b.ReportMetric(ia, "intf_aware_sla_pct")
+	b.ReportMetric(rd, "random_sla_pct")
+}
+
 // BenchmarkConsolidationCapacity answers the paper's motivating question —
 // exchanges run below 10% utilization, so how many latency-sensitive
 // applications can share a host within an SLA? It packs 64KB apps onto

@@ -49,6 +49,7 @@ func main() {
 		capPct   = flag.Int("cap", 0, "static CPU cap for the interfering VM (percent)")
 		policy   = flag.String("policy", "", "ResEx policy: freemarket or ioshares (empty = no ResEx)")
 		duration = flag.Duration("duration", 2*time.Second, "measured virtual time")
+		seed     = flag.Int64("seed", 0, "workload seed offset")
 	)
 	flag.Parse()
 
@@ -57,7 +58,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, "benchex:", err)
 		os.Exit(2)
 	}
-	cfg := experiments.ScenarioConfig{RepBuffer: bufSize, IntfCap: *capPct, SLAUs: experiments.BaseSLAUs}
+	cfg := experiments.ScenarioConfig{RepBuffer: bufSize, IntfCap: *capPct, SLAUs: experiments.BaseSLAUs, Seed: *seed}
 	if *intfBuf != "" {
 		if cfg.IntfBuffer, err = parseSize(*intfBuf); err != nil {
 			fmt.Fprintln(os.Stderr, "benchex:", err)

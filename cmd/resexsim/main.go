@@ -36,6 +36,7 @@ func main() {
 		svgDir   = flag.String("svg", "", "also write <dir>/<fig>.svg charts")
 		duration = flag.Duration("duration", 2*time.Second, "measured virtual time per run")
 		warmup   = flag.Duration("warmup", 100*time.Millisecond, "virtual warmup before measuring")
+		seed     = flag.Int64("seed", 0, "workload seed offset (same seed = byte-identical output)")
 	)
 	flag.Parse()
 
@@ -62,6 +63,7 @@ func main() {
 	opts := experiments.Options{
 		Duration: sim.Time(duration.Nanoseconds()),
 		Warmup:   sim.Time(warmup.Nanoseconds()),
+		Seed:     *seed,
 	}
 	var index []report.IndexEntry
 	for _, id := range ids {
@@ -115,7 +117,8 @@ func main() {
 				fmt.Fprintln(os.Stderr, err)
 				os.Exit(1)
 			}
-			fmt.Printf("\n[%s completed in %v wall time]\n\n", id, time.Since(start).Round(time.Millisecond))
+			// Stderr, so two same-seed runs stay byte-identical on stdout.
+			fmt.Fprintf(os.Stderr, "[%s completed in %v wall time]\n", id, time.Since(start).Round(time.Millisecond))
 		}
 	}
 	if *svgDir != "" && len(index) > 0 {

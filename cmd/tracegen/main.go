@@ -66,6 +66,7 @@ func main() {
 			benchex.ClientConfig{
 				BufferSize: 64 << 10,
 				Requests:   len(reqs),
+				Seed:       *seed,
 				Source:     trace.NewReplay(reqs, false),
 			})
 		if err != nil {

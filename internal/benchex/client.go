@@ -125,6 +125,37 @@ func (c *Client) postRecv(slot int) error {
 	})
 }
 
+// Rebind tears the client's connection down and builds a fresh one: the old
+// QP is destroyed (flushing anything still posted), the flush completions
+// are drained, and a new QP with a full receive ring replaces it. This is
+// the client side of a server live migration — an RC connection is bound to
+// one remote QP, so after the server resumes on another host the client
+// must reconnect with a fresh endpoint. Only valid while stopped; the
+// returned QP is ready for ConnectQPs.
+func (c *Client) Rebind() (*hca.QP, error) {
+	if c.running {
+		return nil, fmt.Errorf("benchex: rebind of running client %q", c.cfg.Name)
+	}
+	c.pd.DestroyQP(c.qp)
+	for {
+		if _, ok := c.rcq.Poll(); !ok {
+			break
+		}
+	}
+	for {
+		if _, ok := c.scq.Poll(); !ok {
+			break
+		}
+	}
+	c.qp = c.pd.CreateQP(c.scq, c.rcq, c.cfg.Window+2, c.slots)
+	for slot := 0; slot < c.slots; slot++ {
+		if err := c.postRecv(slot); err != nil {
+			return nil, err
+		}
+	}
+	return c.qp, nil
+}
+
 // Start launches the request loop.
 func (c *Client) Start() {
 	if c.running {

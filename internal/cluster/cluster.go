@@ -19,6 +19,10 @@ import (
 
 // Config parameterizes a testbed.
 type Config struct {
+	// Hosts, when positive, pre-builds that many hosts (node ids 1..Hosts)
+	// at New time. Zero keeps the testbed empty for manual AddHost calls —
+	// the original two-host assembly path.
+	Hosts int
 	// LinkBandwidth in bytes/second. Default 1 GB/s (8 Gbps effective
 	// payload rate of the paper's DDR link after 8b/10b).
 	LinkBandwidth float64
@@ -33,6 +37,17 @@ type Config struct {
 	PCPUsPerHost int
 	// MTU in bytes. Default 1024.
 	MTU int
+}
+
+// HostOptions overrides per-host parameters at AddHostOpts time. Zero
+// fields fall back to the testbed Config. The placement experiments use
+// this for the client-side host, which aggregates the traffic of every
+// worker and needs proportionally more link bandwidth and PCPUs.
+type HostOptions struct {
+	// LinkBandwidth overrides the host's up/downlink rate, bytes/second.
+	LinkBandwidth float64
+	// PCPUs overrides the number of physical CPUs.
+	PCPUs int
 }
 
 func (c Config) withDefaults() Config {
@@ -63,7 +78,7 @@ type Host struct {
 	Uplink   *fabric.Link
 	Downlink *fabric.Link
 	Backend  *splitdriver.Backend
-	nextPCPU int
+	free     []int // guest-assignable PCPU ids, ascending (PCPU 0 is dom0's)
 }
 
 // VM is a guest with one VCPU pinned to its own PCPU and a protection
@@ -85,34 +100,58 @@ type Testbed struct {
 	Hosts  []*Host
 }
 
-// New creates an empty testbed on a fresh engine.
+// New creates a testbed on a fresh engine, pre-building cfg.Hosts hosts
+// (node ids 1..Hosts) when the count is set.
 func New(cfg Config) *Testbed {
 	cfg = cfg.withDefaults()
 	eng := sim.New()
-	return &Testbed{
+	tb := &Testbed{
 		Eng:    eng,
 		Switch: fabric.NewSwitch(eng, cfg.SwitchLatency),
 		cfg:    cfg,
 		hosts:  make(map[int]*hca.HCA),
 	}
+	for n := 1; n <= cfg.Hosts; n++ {
+		tb.AddHost(n)
+	}
+	return tb
 }
+
+// Config returns the effective testbed configuration.
+func (tb *Testbed) Config() Config { return tb.cfg }
 
 // AddHost creates a physical machine and attaches it to the switch. Node
 // ids must be unique.
 func (tb *Testbed) AddHost(node int) *Host {
+	return tb.AddHostOpts(node, HostOptions{})
+}
+
+// AddHostOpts creates a host with per-host overrides applied on top of the
+// testbed Config.
+func (tb *Testbed) AddHostOpts(node int, o HostOptions) *Host {
 	if _, dup := tb.hosts[node]; dup {
 		panic(fmt.Sprintf("cluster: node %d already exists", node))
 	}
+	bw := tb.cfg.LinkBandwidth
+	if o.LinkBandwidth > 0 {
+		bw = o.LinkBandwidth
+	}
+	pcpus := tb.cfg.PCPUsPerHost
+	if o.PCPUs > 0 {
+		pcpus = o.PCPUs
+	}
 	h := &Host{
-		Node:     node,
-		HV:       xen.New(tb.Eng, xen.Config{NumPCPUs: tb.cfg.PCPUsPerHost}),
-		nextPCPU: 1, // PCPU 0 is dom0's
+		Node: node,
+		HV:   xen.New(tb.Eng, xen.Config{NumPCPUs: pcpus}),
+	}
+	for i := 1; i < pcpus; i++ { // PCPU 0 is dom0's
+		h.free = append(h.free, i)
 	}
 	h.HCA = hca.New(tb.Eng, hca.Config{Node: node, MTU: tb.cfg.MTU})
 	h.HCA.SetPeerResolver(func(n int) *hca.HCA { return tb.hosts[n] })
-	h.Uplink = fabric.NewLink(tb.Eng, fmt.Sprintf("up%d", node), tb.cfg.LinkBandwidth,
+	h.Uplink = fabric.NewLink(tb.Eng, fmt.Sprintf("up%d", node), bw,
 		tb.cfg.LinkPropagation, tb.cfg.Discipline, tb.Switch.Inject)
-	h.Downlink = fabric.NewLink(tb.Eng, fmt.Sprintf("down%d", node), tb.cfg.LinkBandwidth,
+	h.Downlink = fabric.NewLink(tb.Eng, fmt.Sprintf("down%d", node), bw,
 		tb.cfg.LinkPropagation, tb.cfg.Discipline, h.HCA.Deliver)
 	h.HCA.SetUplink(h.Uplink)
 	tb.Switch.AttachNode(node, h.Downlink)
@@ -120,6 +159,16 @@ func (tb *Testbed) AddHost(node int) *Host {
 	tb.hosts[node] = h.HCA
 	tb.Hosts = append(tb.Hosts, h)
 	return h
+}
+
+// Host returns the host with the given node id, or nil.
+func (tb *Testbed) Host(node int) *Host {
+	for _, h := range tb.Hosts {
+		if h.Node == node {
+			return h
+		}
+	}
+	return nil
 }
 
 // Dom0VCPU returns (booting it on first use) the dom0 VCPU on PCPU 0, where
@@ -132,20 +181,51 @@ func (h *Host) Dom0VCPU() *xen.VCPU {
 	return d0.VCPUs()[0]
 }
 
+// FreePCPUs returns the number of PCPUs still available for guests — the
+// host's remaining VM capacity, since guests are pinned one-per-PCPU.
+func (h *Host) FreePCPUs() int { return len(h.free) }
+
 // NewVM boots a guest with 512 MB, one VCPU pinned to a dedicated PCPU, and
 // a paravirtual IB frontend connected to the host's dom0 backend — the
 // paper's guest configuration. Because the PD comes from the backend, every
 // verbs resource the guest creates is visible in the dom0 registry (for
 // IBMon discovery), even though the data path bypasses the VMM.
 func (h *Host) NewVM(name string) *VM {
-	if h.nextPCPU >= h.HV.NumPCPUs() {
+	if len(h.free) == 0 {
 		panic(fmt.Sprintf("cluster: host %d out of PCPUs for %q", h.Node, name))
 	}
+	pcpu := h.free[0]
+	h.free = h.free[1:]
 	dom := h.HV.CreateDomain(name, 512<<20, 0)
-	vcpu := dom.AddVCPU(h.HV.PCPU(h.nextPCPU))
-	h.nextPCPU++
+	vcpu := dom.AddVCPU(h.HV.PCPU(pcpu))
 	fe := h.Backend.Connect(dom, vcpu)
 	return &VM{Host: h, Dom: dom, VCPU: vcpu, PD: fe.PD(), Frontend: fe}
+}
+
+// RemoveVM tears a guest down and returns its PCPU to the host's free pool
+// (live migration removes the source copy this way). Every QP still alive
+// in the VM's protection domain is destroyed — flushing posted work, so
+// in-flight traffic resolves to error completions rather than vanishing.
+// The caller must already have stopped the guest's processes.
+func (h *Host) RemoveVM(vm *VM) {
+	if vm.Host != h {
+		panic(fmt.Sprintf("cluster: VM %q does not live on host %d", vm.Dom.Name(), h.Node))
+	}
+	for _, qp := range append([]*hca.QP(nil), vm.PD.QPs()...) {
+		vm.PD.DestroyQP(qp)
+	}
+	pcpu := vm.VCPU.PCPU().ID()
+	h.HV.DestroyDomain(vm.Dom)
+	// Keep the free list sorted so placement stays deterministic.
+	at := len(h.free)
+	for i, id := range h.free {
+		if id > pcpu {
+			at = i
+			break
+		}
+	}
+	h.free = append(h.free[:at], append([]int{pcpu}, h.free[at:]...)...)
+	vm.Host = nil
 }
 
 // ConnectQPs wires two QPs into an RC connection (the out-of-band

@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"fmt"
 	"testing"
 
 	"resex/internal/benchex"
@@ -314,6 +315,54 @@ func TestThreeHostCluster(t *testing.T) {
 		if m := app.Server.Stats().Total.Mean(); m < 150 || m > 280 {
 			t.Errorf("app %d latency %.1f", i, m)
 		}
+	}
+	tb.Eng.Shutdown()
+}
+
+func TestFourHostPrebuiltTopology(t *testing.T) {
+	// Config.Hosts pre-builds the fleet-scale topology the placement layer
+	// runs on: four hosts off one switch, a ring of apps plus both
+	// diagonals, and PCPUs recycled deterministically through RemoveVM.
+	tb := New(Config{Hosts: 4})
+	if len(tb.Hosts) != 4 {
+		t.Fatalf("hosts = %d", len(tb.Hosts))
+	}
+	pairs := [][2]int{{1, 2}, {2, 3}, {3, 4}, {4, 1}, {1, 3}, {2, 4}}
+	apps := []*App{}
+	for _, pr := range pairs {
+		app, err := tb.NewApp(fmt.Sprintf("x%d%d", pr[0], pr[1]), tb.Host(pr[0]), tb.Host(pr[1]),
+			benchex.ServerConfig{BufferSize: 64 << 10},
+			benchex.ClientConfig{BufferSize: 64 << 10, Requests: 40})
+		if err != nil {
+			t.Fatal(err)
+		}
+		app.Start()
+		apps = append(apps, app)
+	}
+	tb.Eng.RunUntil(100 * sim.Millisecond)
+	for i, app := range apps {
+		if cs := app.Client.Stats(); cs.Received != 40 {
+			t.Errorf("app %d received %d/40", i, cs.Received)
+		}
+		// Every host carries two servers plus a client VM, so means sit
+		// above the ~233µs base but well under the interference regime.
+		if m := app.Server.Stats().Total.Mean(); m < 150 || m > 450 {
+			t.Errorf("app %d latency %.1f", i, m)
+		}
+	}
+
+	// RemoveVM returns the PCPU to the free pool and the next guest reuses
+	// it (placement relies on this to re-bind migrated VMs).
+	h := tb.Host(4)
+	free := h.FreePCPUs()
+	vm := h.NewVM("tmp")
+	pcpu := vm.VCPU.PCPU().ID()
+	h.RemoveVM(vm)
+	if got := h.FreePCPUs(); got != free {
+		t.Errorf("free PCPUs %d after remove, want %d", got, free)
+	}
+	if vm2 := h.NewVM("tmp2"); vm2.VCPU.PCPU().ID() != pcpu {
+		t.Errorf("PCPU %d not reused, got %d", pcpu, vm2.VCPU.PCPU().ID())
 	}
 	tb.Eng.Shutdown()
 }

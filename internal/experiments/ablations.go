@@ -57,7 +57,7 @@ func AblArb(o Options) (*AblArbResult, error) {
 	o = o.WithDefaults()
 	res := &AblArbResult{}
 	for _, disc := range []fabric.Discipline{fabric.RoundRobin, fabric.FIFO} {
-		s, err := Build(ScenarioConfig{IntfBuffer: IntfBuffer, Discipline: disc, Timeline: true})
+		s, err := Build(ScenarioConfig{IntfBuffer: IntfBuffer, Discipline: disc, Timeline: true, Seed: o.Seed})
 		if err != nil {
 			return nil, err
 		}
@@ -121,7 +121,7 @@ func AblMech(o Options) (*AblMechResult, error) {
 	o = o.WithDefaults()
 	res := &AblMechResult{}
 	run := func(name string, prep func(*Scenario)) error {
-		s, err := Build(ScenarioConfig{IntfBuffer: IntfBuffer})
+		s, err := Build(ScenarioConfig{IntfBuffer: IntfBuffer, Seed: o.Seed})
 		if err != nil {
 			return err
 		}
@@ -201,7 +201,7 @@ func AblEvents(o Options) (*AblEventsResult, error) {
 			hostA, hostB := tb.AddHost(1), tb.AddHost(2)
 			app, err := tb.NewApp("app", hostA, hostB,
 				benchex.ServerConfig{BufferSize: 64 << 10, EventDriven: mode},
-				benchex.ClientConfig{BufferSize: 64 << 10, Window: 4})
+				benchex.ClientConfig{BufferSize: 64 << 10, Window: 4, Seed: o.Seed + 1})
 			if err != nil {
 				return nil, err
 			}
@@ -272,7 +272,7 @@ func AblCapacity(o Options) (*AblCapacityResult, error) {
 	o = o.WithDefaults()
 	res := &AblCapacityResult{SLA: 233.5 * 1.25}
 	for n := 1; n <= 6; n++ {
-		s, err := Build(ScenarioConfig{Reporters: n})
+		s, err := Build(ScenarioConfig{Reporters: n, Seed: o.Seed})
 		if err != nil {
 			return nil, err
 		}

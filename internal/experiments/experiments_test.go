@@ -266,7 +266,7 @@ func TestFig9Shape(t *testing.T) {
 
 func TestRegistry(t *testing.T) {
 	ids := IDs()
-	if len(ids) != 14 { // 9 figures + 4 ablations + softrt extension
+	if len(ids) != 15 { // 9 figures + 5 ablations + softrt extension
 		t.Fatalf("IDs = %v", ids)
 	}
 	for _, id := range ids {
@@ -368,6 +368,43 @@ func TestAblCapacityShape(t *testing.T) {
 		}
 	}
 	renderBoth(t, r)
+}
+
+func TestAblPlacementShape(t *testing.T) {
+	r, err := AblPlacement(quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 8 { // 4 strategies × 2 fleet scales
+		t.Fatalf("rows = %d", len(r.Rows))
+	}
+	get := func(strategy string, hosts int) AblPlacementRow {
+		for _, row := range r.Rows {
+			if row.Strategy == strategy && row.Hosts == hosts {
+				return row
+			}
+		}
+		t.Fatalf("missing %s/%d", strategy, hosts)
+		return AblPlacementRow{}
+	}
+	for _, hosts := range []int{4, 8} {
+		ia, rd := get("intf-aware", hosts), get("random", hosts)
+		// The scheduler's reason to exist: strictly higher SLA attainment
+		// than random placement at every fleet scale.
+		if ia.SLAPct <= rd.SLAPct {
+			t.Errorf("%d hosts: intf-aware %.1f%% SLA not above random %.1f%%",
+				hosts, ia.SLAPct, rd.SLAPct)
+		}
+		// Segregation keeps even the worst app near base latency.
+		if ia.WorstMean > r.SLA {
+			t.Errorf("%d hosts: intf-aware worst mean %.1f µs above SLA %.1f",
+				hosts, ia.WorstMean, r.SLA)
+		}
+	}
+	_, csv := renderBoth(t, r)
+	if !strings.Contains(csv, "strategy,hosts,vms,sla_pct") {
+		t.Error("rendering content")
+	}
 }
 
 func TestSoftRTShape(t *testing.T) {

@@ -54,7 +54,7 @@ func Fig1(o Options) (*Fig1Result, error) {
 		Interfered: stats.NewHistogram(100, 500, 80),
 	}
 	for _, interfered := range []bool{false, true} {
-		cfg := ScenarioConfig{Timeline: true}
+		cfg := ScenarioConfig{Timeline: true, Seed: o.Seed}
 		if interfered {
 			cfg.IntfBuffer = IntfBuffer
 		}
@@ -133,7 +133,7 @@ func Fig2(o Options) (*Fig2Result, error) {
 	res := &Fig2Result{}
 	for _, n := range []int{1, 2, 3} {
 		for _, loaded := range []bool{false, true} {
-			cfg := ScenarioConfig{Reporters: n}
+			cfg := ScenarioConfig{Reporters: n, Seed: o.Seed}
 			if loaded {
 				cfg.IntfBuffer = IntfBuffer
 			}
@@ -212,7 +212,7 @@ func Fig3(o Options) (*Fig3Result, error) {
 	for _, buf := range []int{2 << 20, 1 << 20, 512 << 10, 256 << 10, 128 << 10, 64 << 10} {
 		ratio := buf / BaseBuffer
 		cap := 100 / ratio
-		cfg := ScenarioConfig{IntfBuffer: buf}
+		cfg := ScenarioConfig{IntfBuffer: buf, Seed: o.Seed}
 		if cap < 100 {
 			cfg.IntfCap = cap
 		}
@@ -281,7 +281,7 @@ func Fig4(o Options) (*Fig4Result, error) {
 	res := &Fig4Result{}
 	caps := []int{100, 90, 80, 70, 60, 50, 40, 30, 20, 10, 3}
 	for _, c := range caps {
-		cfg := ScenarioConfig{IntfBuffer: IntfBuffer}
+		cfg := ScenarioConfig{IntfBuffer: IntfBuffer, Seed: o.Seed}
 		if c < 100 {
 			cfg.IntfCap = c
 		}
@@ -294,7 +294,7 @@ func Fig4(o Options) (*Fig4Result, error) {
 		res.Rows = append(res.Rows, Fig4Row{Cap: c, CTime: st.C.Mean(), WTime: st.W.Mean(), PTime: st.P.Mean()})
 	}
 	// Base.
-	s, err := Build(ScenarioConfig{})
+	s, err := Build(ScenarioConfig{Seed: o.Seed})
 	if err != nil {
 		return nil, err
 	}

@@ -83,7 +83,7 @@ func runTimeline(o Options, figure int, mkPolicy func() resex.Policy) (*Timeline
 	res := &TimelineResult{Figure: figure}
 
 	// Base.
-	s, err := Build(ScenarioConfig{Timeline: true})
+	s, err := Build(ScenarioConfig{Timeline: true, Seed: o.Seed})
 	if err != nil {
 		return nil, err
 	}
@@ -92,7 +92,7 @@ func runTimeline(o Options, figure int, mkPolicy func() resex.Policy) (*Timeline
 	res.BaseMean, res.BaseStd = st.Total.Mean(), st.Total.StdDev()
 
 	// Interfered, no ResEx.
-	s, err = Build(ScenarioConfig{Timeline: true, IntfBuffer: IntfBuffer})
+	s, err = Build(ScenarioConfig{Timeline: true, IntfBuffer: IntfBuffer, Seed: o.Seed})
 	if err != nil {
 		return nil, err
 	}
@@ -108,6 +108,7 @@ func runTimeline(o Options, figure int, mkPolicy func() resex.Policy) (*Timeline
 		IntfBuffer: IntfBuffer,
 		Policy:     policy,
 		SLAUs:      BaseSLAUs,
+		Seed:       o.Seed,
 	})
 	if err != nil {
 		return nil, err
@@ -355,7 +356,7 @@ func Fig9(o Options) (*Fig9Result, error) {
 	o = o.WithDefaults()
 	res := &Fig9Result{}
 	// Shared Base reference (no interferer).
-	s, err := Build(ScenarioConfig{})
+	s, err := Build(ScenarioConfig{Seed: o.Seed})
 	if err != nil {
 		return nil, err
 	}
@@ -369,7 +370,7 @@ func Fig9(o Options) (*Fig9Result, error) {
 			func() resex.Policy { return resex.NewIOShares() },
 		} {
 			p := mk()
-			s, err := Build(ScenarioConfig{IntfBuffer: buf, Policy: p, SLAUs: BaseSLAUs})
+			s, err := Build(ScenarioConfig{IntfBuffer: buf, Policy: p, SLAUs: BaseSLAUs, Seed: o.Seed})
 			if err != nil {
 				return nil, err
 			}

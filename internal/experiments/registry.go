@@ -46,6 +46,8 @@ func init() {
 		func(o Options) (Result, error) { return AblEvents(o) })
 	register("abl-capacity", "Ablation: consolidation density within SLA",
 		func(o Options) (Result, error) { return AblCapacity(o) })
+	register("abl-placement", "Ablation: interference-aware placement and live migration",
+		func(o Options) (Result, error) { return AblPlacement(o) })
 	register("softrt", "Extension: soft-real-time stream deadline misses",
 		func(o Options) (Result, error) { return SoftRT(o) })
 }

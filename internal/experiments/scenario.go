@@ -43,6 +43,10 @@ type Options struct {
 	Warmup sim.Time
 	// Timeline retains per-request series (needed by Figures 5–7).
 	Timeline bool
+	// Seed offsets every workload generator seed, so re-runs with a
+	// different seed explore a different (but still fully deterministic)
+	// request arrival pattern. Default 0 preserves the historical outputs.
+	Seed int64
 }
 
 // WithDefaults fills zero fields.
@@ -93,6 +97,8 @@ type ScenarioConfig struct {
 	Discipline fabric.Discipline
 	// Timeline retains per-request records.
 	Timeline bool
+	// Seed offsets the client generator seeds (see Options.Seed).
+	Seed int64
 }
 
 // Scenario is a built, startable experiment instance.
@@ -135,7 +141,7 @@ func Build(cfg ScenarioConfig) (*Scenario, error) {
 	for i := 0; i < cfg.Reporters; i++ {
 		app, err := tb.NewApp(fmt.Sprintf("rep%d", i), hostA, hostB,
 			benchex.ServerConfig{BufferSize: cfg.RepBuffer, RecordTimeline: cfg.Timeline},
-			benchex.ClientConfig{BufferSize: cfg.RepBuffer, Seed: int64(i + 1), RecordTimeline: cfg.Timeline})
+			benchex.ClientConfig{BufferSize: cfg.RepBuffer, Seed: cfg.Seed + int64(i+1), RecordTimeline: cfg.Timeline})
 		if err != nil {
 			return nil, err
 		}
@@ -162,7 +168,7 @@ func Build(cfg ScenarioConfig) (*Scenario, error) {
 				Window:         cfg.IntfWindow,
 				Interval:       cfg.IntfInterval,
 				BurstyArrivals: true,
-				Seed:           999,
+				Seed:           cfg.Seed + 999,
 			})
 		if err != nil {
 			return nil, err

@@ -82,7 +82,7 @@ func SoftRT(o Options) (*SoftRTResult, error) {
 			// app's agent, as in the paper's setup.
 			trading, err := tb.NewApp("trading", hostA, hostB,
 				benchex.ServerConfig{BufferSize: BaseBuffer},
-				benchex.ClientConfig{BufferSize: BaseBuffer})
+				benchex.ClientConfig{BufferSize: BaseBuffer, Seed: o.Seed + 1})
 			if err != nil {
 				return err
 			}
@@ -95,7 +95,7 @@ func SoftRT(o Options) (*SoftRTResult, error) {
 		if withBulk {
 			bulk, err := tb.NewApp("bulk", hostA, hostB,
 				benchex.ServerConfig{BufferSize: IntfBuffer, ProcessTime: 2 * sim.Millisecond, PipelineResponses: true, RecvSlots: 18},
-				benchex.ClientConfig{BufferSize: IntfBuffer, Window: 16, Interval: 3700 * sim.Microsecond, BurstyArrivals: true, Seed: 999})
+				benchex.ClientConfig{BufferSize: IntfBuffer, Window: 16, Interval: 3700 * sim.Microsecond, BurstyArrivals: true, Seed: o.Seed + 999})
 			if err != nil {
 				return err
 			}

@@ -164,6 +164,7 @@ type Monitor struct {
 	vcpu      *xen.VCPU // dom0 VCPU the sampler runs on; nil = free sampling
 	targets   []*Target
 	qpTargets []*QPTarget
+	marks     map[xen.DomID]profileMark // last Profiles() snapshot per domain
 	proc      *sim.Proc
 	running   bool
 }
@@ -171,7 +172,8 @@ type Monitor struct {
 // New creates a monitor on the given hypervisor. If vcpu is non-nil the
 // sampling work is charged to it (it should be a dom0 VCPU).
 func New(hv *xen.Hypervisor, vcpu *xen.VCPU, cfg Config) *Monitor {
-	return &Monitor{hv: hv, cfg: cfg.withDefaults(), vcpu: vcpu}
+	return &Monitor{hv: hv, cfg: cfg.withDefaults(), vcpu: vcpu,
+		marks: make(map[xen.DomID]profileMark)}
 }
 
 // Watch maps the CQ state of a guest domain for monitoring. The ring and
@@ -223,6 +225,36 @@ func (m *Monitor) WatchQPDoorbell(dom xen.DomID, uarAddr guestmem.Addr, sqRingAd
 // WatchQP is the *hca.QP convenience wrapper for WatchQPDoorbell.
 func (m *Monitor) WatchQP(dom xen.DomID, qp *hca.QP) (*QPTarget, error) {
 	return m.WatchQPDoorbell(dom, qp.UARAddr(), qp.SQRingAddr(), qp.SQDepth())
+}
+
+// Unwatch drops a CQ target from the sampling set and releases its
+// introspection mappings (the VM left the host, e.g. by migration).
+func (m *Monitor) Unwatch(t *Target) {
+	for i, w := range m.targets {
+		if w == t {
+			m.targets = append(m.targets[:i], m.targets[i+1:]...)
+			return
+		}
+	}
+}
+
+// UnwatchDomain drops every CQ and QP target of a domain.
+func (m *Monitor) UnwatchDomain(dom xen.DomID) {
+	kept := m.targets[:0]
+	for _, t := range m.targets {
+		if t.dom != dom {
+			kept = append(kept, t)
+		}
+	}
+	m.targets = kept
+	keptQP := m.qpTargets[:0]
+	for _, t := range m.qpTargets {
+		if t.dom != dom {
+			keptQP = append(keptQP, t)
+		}
+	}
+	m.qpTargets = keptQP
+	delete(m.marks, dom)
 }
 
 // Targets returns all watched targets.
@@ -352,4 +384,91 @@ func mtusFor(bytes int64, mtu int) int64 {
 		return 1
 	}
 	return (bytes + int64(mtu) - 1) / int64(mtu)
+}
+
+// Profile is a per-VM I/O rate snapshot, aggregated across every watched
+// CQ of the domain: the send rate in MTUs and bytes per second over the
+// window since the previous Profiles/ProfileOf call, plus the inferred
+// application buffer size. This is the input the placement layer scores
+// with — a large BufferSize at a high MTUsPerSec identifies the
+// latency-destroying neighbor class of the paper.
+type Profile struct {
+	Dom xen.DomID
+	// Window is the measurement span the rates average over.
+	Window sim.Time
+	// MTUsPerSec and BytesPerSec are send-side rates over the window.
+	MTUsPerSec  float64
+	BytesPerSec float64
+	// BufferSize is the largest send completion seen since watch start.
+	BufferSize int
+}
+
+// profileMark remembers the cumulative counters at the last snapshot.
+type profileMark struct {
+	mtus, bytes int64
+	at          sim.Time
+	mtuRate     float64 // last computed rates, reused for zero windows
+	byteRate    float64
+}
+
+// Profiles returns one windowed profile per watched domain, in first-watch
+// order (deterministic). Each call advances the per-domain window: rates
+// cover the span since that domain was last profiled (or since the monitor
+// was created).
+func (m *Monitor) Profiles() []Profile {
+	var out []Profile
+	seen := make(map[xen.DomID]bool, len(m.targets))
+	for _, t := range m.targets {
+		if seen[t.dom] {
+			continue
+		}
+		seen[t.dom] = true
+		out = append(out, m.profileDomain(t.dom))
+	}
+	return out
+}
+
+// ProfileOf returns the windowed profile for one domain; ok is false when
+// the domain has no watched CQs.
+func (m *Monitor) ProfileOf(dom xen.DomID) (Profile, bool) {
+	for _, t := range m.targets {
+		if t.dom == dom {
+			return m.profileDomain(dom), true
+		}
+	}
+	return Profile{}, false
+}
+
+// profileDomain aggregates the domain's targets and advances its mark.
+func (m *Monitor) profileDomain(dom xen.DomID) Profile {
+	var mtus, bytes int64
+	bufSize := 0
+	for _, t := range m.targets {
+		if t.dom != dom {
+			continue
+		}
+		u := t.Usage()
+		mtus += u.MTUsSent
+		bytes += u.BytesSent
+		if u.BufferSize > bufSize {
+			bufSize = u.BufferSize
+		}
+	}
+	now := m.hv.Engine().Now()
+	mark := m.marks[dom]
+	p := Profile{Dom: dom, Window: now - mark.at, BufferSize: bufSize}
+	if p.Window > 0 {
+		secs := p.Window.Seconds()
+		p.MTUsPerSec = float64(mtus-mark.mtus) / secs
+		p.BytesPerSec = float64(bytes-mark.bytes) / secs
+	} else {
+		// Same-instant re-poll: repeat the previous rates.
+		p.MTUsPerSec = mark.mtuRate
+		p.BytesPerSec = mark.byteRate
+	}
+	m.marks[dom] = profileMark{
+		mtus: mtus, bytes: bytes, at: now,
+		mtuRate: p.MTUsPerSec, byteRate: p.BytesPerSec,
+	}
+	return p
 }

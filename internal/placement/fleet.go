@@ -1,0 +1,317 @@
+package placement
+
+import (
+	"fmt"
+
+	"resex/internal/benchex"
+	"resex/internal/cluster"
+	"resex/internal/ibmon"
+	"resex/internal/resex"
+	"resex/internal/sim"
+)
+
+// Config parameterizes a fleet.
+type Config struct {
+	// Hosts is the number of worker hosts (nodes 1..Hosts). One extra
+	// client host (node Hosts+1) is added to run every workload's client —
+	// the paper's client-machine/server-machine split scaled out.
+	Hosts int
+	// PCPUsPerHost sizes the workers. Default 8 (7 guest slots + dom0).
+	PCPUsPerHost int
+	// ClientPCPUs sizes the client host; it must hold one VM per workload.
+	// Default 64.
+	ClientPCPUs int
+	// LinkBandwidth is the per-worker uplink, bytes/second. The client
+	// host's link is scaled by Hosts so it never becomes the bottleneck.
+	// Default 1 GB/s.
+	LinkBandwidth float64
+	// IntervalsPerEpoch shortens the ResEx epoch so fleets converge inside
+	// short simulations. Default 250 (250 ms epochs).
+	IntervalsPerEpoch int
+	// Policy builds the per-host pricing policy. Default NewIOShares.
+	Policy func() resex.Policy
+	// Strategy decides placements. Default NewInterferencePipeline.
+	Strategy Strategy
+	// IntfThresholdPct is the epoch IntfPercent above which a
+	// latency-sensitive VM counts as breached (feeds the rebalancer's
+	// patience counter). Default 5.
+	IntfThresholdPct float64
+	// Seed drives the fleet RNG (random strategy, workload shuffling).
+	Seed int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Hosts <= 0 {
+		c.Hosts = 2
+	}
+	if c.PCPUsPerHost <= 0 {
+		c.PCPUsPerHost = 8
+	}
+	if c.ClientPCPUs <= 0 {
+		c.ClientPCPUs = 64
+	}
+	if c.LinkBandwidth <= 0 {
+		c.LinkBandwidth = 1e9
+	}
+	if c.IntervalsPerEpoch <= 0 {
+		c.IntervalsPerEpoch = 250
+	}
+	if c.Policy == nil {
+		c.Policy = func() resex.Policy { return resex.NewIOShares() }
+	}
+	if c.Strategy == nil {
+		c.Strategy = PipelineStrategy{Label: "intf-aware", P: NewInterferencePipeline()}
+	}
+	if c.IntfThresholdPct <= 0 {
+		c.IntfThresholdPct = 5
+	}
+	return c
+}
+
+// Workload describes one application to place: a BenchEx server VM plus its
+// client VM on the fleet's client host.
+type Workload struct {
+	Name             string
+	BufferSize       int
+	LatencySensitive bool
+	// SLAUs is the latency SLA (µs) handed to ResEx for latency-sensitive
+	// workloads; bulk workloads leave it zero and let ResEx learn.
+	SLAUs float64
+	// Client shape: Window outstanding requests, open-loop Interval (0 =
+	// closed loop), hyperexponential interarrivals when Bursty.
+	Window   int
+	Interval sim.Time
+	Bursty   bool
+	// ProcessTime overrides the server's per-request compute.
+	ProcessTime sim.Time
+	// PipelineResponses makes the server fire-and-forget (interferers).
+	PipelineResponses bool
+	// Seed drives the client's request generator.
+	Seed int64
+}
+
+// Placement is one workload's current binding.
+type Placement struct {
+	Spec     Spec
+	Workload Workload
+	App      *cluster.App
+	Agent    *benchex.Agent
+	// HostIdx indexes Fleet.Workers (not node id).
+	HostIdx int
+	// Migrations counts how many times the server moved.
+	Migrations int
+	// History holds the stats of servers retired by migration, so measures
+	// span the workload's whole life.
+	History []benchex.ServerStats
+
+	lastIntf   float64 // IntfPercent from the newest epoch summary
+	lastCap    float64 // CPU cap from the newest epoch summary
+	intfEpochs int     // consecutive epochs above the breach threshold
+}
+
+// Records merges the timeline of every server incarnation, in order.
+func (pl *Placement) Records() []benchex.RequestRecord {
+	var out []benchex.RequestRecord
+	for _, h := range pl.History {
+		out = append(out, h.Timeline...)
+	}
+	return append(out, pl.App.Server.Stats().Timeline...)
+}
+
+// Fleet is an N-worker-host cluster with one ResEx manager and IBMon
+// monitor per host, a shared client host, and a placement strategy.
+type Fleet struct {
+	TB      *cluster.Testbed
+	Client  *cluster.Host
+	Workers []*cluster.Host
+	Mons    []*ibmon.Monitor
+	Mgrs    []*resex.Manager
+	Log     *EventLog
+
+	cfg        Config
+	rng        *sim.Rand
+	placements []*Placement
+}
+
+// NewFleet assembles the testbed, one monitor+manager per worker, and the
+// client host.
+func NewFleet(cfg Config) *Fleet {
+	cfg = cfg.withDefaults()
+	tb := cluster.New(cluster.Config{
+		Hosts:         cfg.Hosts,
+		LinkBandwidth: cfg.LinkBandwidth,
+		PCPUsPerHost:  cfg.PCPUsPerHost,
+	})
+	f := &Fleet{
+		TB: tb,
+		Client: tb.AddHostOpts(cfg.Hosts+1, cluster.HostOptions{
+			LinkBandwidth: cfg.LinkBandwidth * float64(cfg.Hosts),
+			PCPUs:         cfg.ClientPCPUs,
+		}),
+		Log: &EventLog{},
+		cfg: cfg,
+		rng: sim.NewRand(cfg.Seed),
+	}
+	for n := 1; n <= cfg.Hosts; n++ {
+		h := tb.Host(n)
+		f.Workers = append(f.Workers, h)
+		mon := ibmon.New(h.HV, h.Dom0VCPU(), ibmon.Config{MTU: tb.Config().MTU})
+		mon.Start(tb.Eng)
+		mgr := resex.New(tb.Eng, h.HV, mon, h.Dom0VCPU(), cfg.Policy(),
+			resex.Config{IntervalsPerEpoch: cfg.IntervalsPerEpoch})
+		mgr.Start()
+		idx := n - 1
+		mgr.ObserveEpoch(func(es resex.EpochSummary) { f.onEpoch(idx, es) })
+		f.Mons = append(f.Mons, mon)
+		f.Mgrs = append(f.Mgrs, mgr)
+	}
+	return f
+}
+
+// Config returns the effective fleet configuration.
+func (f *Fleet) Config() Config { return f.cfg }
+
+// Placements returns every placed workload in placement order.
+func (f *Fleet) Placements() []*Placement { return f.placements }
+
+// EpochDuration is one ResEx epoch of the fleet's managers.
+func (f *Fleet) EpochDuration() sim.Time {
+	c := f.Mgrs[0].Config()
+	return c.Interval * sim.Time(c.IntervalsPerEpoch)
+}
+
+// onEpoch folds one host's epoch summary into the placement records: the
+// rebalancer's breach counters advance here.
+func (f *Fleet) onEpoch(hostIdx int, es resex.EpochSummary) {
+	for _, pl := range f.placements {
+		if pl.HostIdx != hostIdx || pl.App.ServerVM == nil {
+			continue
+		}
+		s := es.VM(pl.App.ServerVM.Dom.ID())
+		if s == nil {
+			continue
+		}
+		pl.lastIntf = s.IntfPercent
+		pl.lastCap = s.Cap
+		if pl.Spec.LatencySensitive && s.IntfPercent >= f.cfg.IntfThresholdPct {
+			pl.intfEpochs++
+		} else {
+			pl.intfEpochs = 0
+		}
+	}
+}
+
+// snapshot builds the scheduler's view of every worker host (minus an
+// optional excluded node id; 0 excludes nothing).
+func (f *Fleet) snapshot(excludeNode int) []*HostInfo {
+	return f.buildSnapshot(excludeNode, nil)
+}
+
+// buildSnapshot is snapshot with an optional placement elided, as if its VM
+// were not running: the rebalancer scores "where should this VM be?"
+// without the VM's own footprint biasing its current host.
+func (f *Fleet) buildSnapshot(excludeNode int, skip *Placement) []*HostInfo {
+	var out []*HostInfo
+	for i, h := range f.Workers {
+		if h.Node == excludeNode {
+			continue
+		}
+		hi := &HostInfo{
+			Node:            h.Node,
+			FreePCPUs:       h.FreePCPUs(),
+			TotalPCPUs:      f.cfg.PCPUsPerHost - 1, // dom0 owns PCPU 0
+			LinkBytesPerSec: f.cfg.LinkBandwidth,
+			ResoHeadroom:    1,
+		}
+		for _, pl := range f.placements {
+			if pl.HostIdx != i || pl == skip {
+				continue
+			}
+			vi := VMInfo{Spec: pl.Spec, IntfPercent: pl.lastIntf, CapPct: pl.lastCap}
+			if prof, ok := f.Mons[i].ProfileOf(pl.App.ServerVM.Dom.ID()); ok {
+				vi.MTUsPerSec = prof.MTUsPerSec
+				vi.BytesPerSec = prof.BytesPerSec
+				vi.BufferSize = prof.BufferSize
+			}
+			hi.IOCommitted += vi.BytesPerSec / f.cfg.LinkBandwidth
+			hi.VMs = append(hi.VMs, vi)
+		}
+		if vms := f.Mgrs[i].VMs(); len(vms) > 0 {
+			sum := 0.0
+			for _, vm := range vms {
+				sum += vm.Account.Fraction()
+			}
+			hi.ResoHeadroom = sum / float64(len(vms))
+		}
+		if skip != nil && skip.HostIdx == i && hi.FreePCPUs < hi.TotalPCPUs {
+			hi.FreePCPUs++ // the elided VM would vacate its PCPU
+		}
+		out = append(out, hi)
+	}
+	return out
+}
+
+// workerIdx maps a node id back to a Workers index.
+func (f *Fleet) workerIdx(node int) int {
+	for i, h := range f.Workers {
+		if h.Node == node {
+			return i
+		}
+	}
+	panic(fmt.Sprintf("placement: unknown worker node %d", node))
+}
+
+// Place runs the strategy over the current fleet state, boots the workload
+// on the chosen host, puts the server VM under the host's ResEx manager and
+// starts server, client and monitoring agent.
+func (f *Fleet) Place(w Workload) (*Placement, error) {
+	spec := Spec{Name: w.Name, LatencySensitive: w.LatencySensitive, BufferSize: w.BufferSize}
+	host, _, err := f.cfg.Strategy.Pick(f.snapshot(0), spec, f.rng)
+	if err != nil {
+		return nil, err
+	}
+	idx := f.workerIdx(host.Node)
+	h := f.Workers[idx]
+
+	scfg := benchex.ServerConfig{
+		Name:              w.Name + "-server",
+		BufferSize:        w.BufferSize,
+		ProcessTime:       w.ProcessTime,
+		PipelineResponses: w.PipelineResponses,
+		RecordTimeline:    w.LatencySensitive,
+	}
+	ccfg := benchex.ClientConfig{
+		Name:           w.Name + "-client",
+		BufferSize:     w.BufferSize,
+		Window:         w.Window,
+		Interval:       w.Interval,
+		BurstyArrivals: w.Bursty,
+		Seed:           w.Seed,
+	}
+	app, err := f.TB.NewApp(w.Name, h, f.Client, scfg, ccfg)
+	if err != nil {
+		return nil, err
+	}
+	pl := &Placement{Spec: spec, Workload: w, App: app, HostIdx: idx}
+	if err := f.manage(pl); err != nil {
+		return nil, err
+	}
+	app.Start()
+	pl.Agent.Start()
+	f.placements = append(f.placements, pl)
+	f.Log.Add(f.TB.Eng.Now(), "place", "%s -> node%d (%s)", w.Name, host.Node, f.cfg.Strategy.Name())
+	return pl, nil
+}
+
+// manage registers the placement's current server VM with its host's ResEx
+// manager and creates a fresh monitoring agent (not yet started).
+func (f *Fleet) manage(pl *Placement) error {
+	h := f.Workers[pl.HostIdx]
+	dom := pl.App.ServerVM.Dom
+	_, err := f.Mgrs[pl.HostIdx].ManageCQs(dom, h.Backend.CQsOf(dom.ID()), pl.Workload.SLAUs)
+	if err != nil {
+		return err
+	}
+	pl.Agent = benchex.NewAgent(pl.App.Server, dom.ID(), f.Mgrs[pl.HostIdx], benchex.AgentConfig{})
+	return nil
+}

@@ -1,0 +1,58 @@
+package placement
+
+import (
+	"fmt"
+	"io"
+
+	"resex/internal/sim"
+)
+
+// Event is one timestamped scheduler decision or migration phase.
+type Event struct {
+	At   sim.Time
+	Kind string // "place", "migrate", "rebalance"
+	Text string
+}
+
+// MigrationRecord summarizes one completed live migration.
+type MigrationRecord struct {
+	VM       string
+	From, To int // node ids
+	Start    sim.Time
+	End      sim.Time
+	// Downtime is the stop-and-copy window during which the VM served
+	// nothing (dirty-state transfer plus the configured blackout).
+	Downtime sim.Time
+	// BytesMoved is the modeled state volume (pre-copy plus dirty round).
+	BytesMoved int64
+	// FlowBytes is what the source uplink actually accounted to the
+	// migration flow — the proof that migration traffic shares the fabric
+	// with workload I/O rather than moving out of band.
+	FlowBytes int64
+}
+
+// EventLog collects scheduler decisions and migrations in event order.
+type EventLog struct {
+	Events     []Event
+	Migrations []MigrationRecord
+}
+
+// Add appends an event.
+func (l *EventLog) Add(at sim.Time, kind, format string, args ...any) {
+	l.Events = append(l.Events, Event{At: at, Kind: kind, Text: fmt.Sprintf(format, args...)})
+}
+
+// WriteText renders the log chronologically.
+func (l *EventLog) WriteText(w io.Writer) {
+	for _, e := range l.Events {
+		fmt.Fprintf(w, "%12v  %-9s %s\n", e.At, e.Kind, e.Text)
+	}
+	if len(l.Migrations) > 0 {
+		fmt.Fprintf(w, "\nmigrations:\n")
+		for _, m := range l.Migrations {
+			fmt.Fprintf(w, "  %-16s node%d->node%d  %v..%v  moved=%dMB flow=%dMB downtime=%v\n",
+				m.VM, m.From, m.To, m.Start, m.End,
+				m.BytesMoved>>20, m.FlowBytes>>20, m.Downtime)
+		}
+	}
+}

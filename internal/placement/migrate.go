@@ -1,0 +1,238 @@
+package placement
+
+import (
+	"fmt"
+
+	"resex/internal/benchex"
+	"resex/internal/cluster"
+	"resex/internal/guestmem"
+	"resex/internal/hca"
+	"resex/internal/sim"
+)
+
+// MigrationConfig parameterizes the live-migration cost model.
+type MigrationConfig struct {
+	// StateBytes is the VM state moved in the pre-copy round (memory image
+	// working set). Default 64 MB.
+	StateBytes int64
+	// DirtyFraction of StateBytes is re-sent in the stop-and-copy round —
+	// pages the still-running guest dirtied during pre-copy. Default 0.05.
+	DirtyFraction float64
+	// Downtime is the fixed blackout on top of the dirty transfer (arch
+	// state hand-off, device re-plumbing, connection rebinding). Default 2 ms.
+	Downtime sim.Time
+	// ChunkBytes is the migration transfer granularity (one SEND work
+	// request, MTU-segmented on the wire like any other message). Default 1 MB.
+	ChunkBytes int
+	// Window is the number of outstanding migration chunks. Default 4.
+	Window int
+}
+
+func (c MigrationConfig) withDefaults() MigrationConfig {
+	if c.StateBytes <= 0 {
+		c.StateBytes = 64 << 20
+	}
+	if c.DirtyFraction <= 0 {
+		c.DirtyFraction = 0.05
+	}
+	if c.Downtime <= 0 {
+		c.Downtime = 2 * sim.Millisecond
+	}
+	if c.ChunkBytes <= 0 {
+		c.ChunkBytes = 1 << 20
+	}
+	if c.Window <= 0 {
+		c.Window = 4
+	}
+	return c
+}
+
+// chunks converts a byte volume to whole transfer chunks.
+func (c MigrationConfig) chunks(bytes int64) int {
+	n := int((bytes + int64(c.ChunkBytes) - 1) / int64(c.ChunkBytes))
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// migrationChannel is the dom0-to-dom0 RC connection state moved over.
+type migrationChannel struct {
+	srcPD, dstPD *hca.PD
+	srcQP, dstQP *hca.QP
+	scq          *hca.CQ
+	srcBuf       guestmem.Addr
+	srcMR        *hca.MR
+	chunk        int
+	window       int
+}
+
+// newMigrationChannel builds the transfer path: a protection domain on each
+// host's dom0, a connected QP pair, and one chunk buffer per side. The
+// destination posts every receive up front (all aimed at the same staging
+// buffer — the model cares about wire traffic, not byte placement).
+func newMigrationChannel(src, dst *cluster.Host, mc MigrationConfig, totalChunks int) (*migrationChannel, error) {
+	ch := &migrationChannel{chunk: mc.ChunkBytes, window: mc.Window}
+	ch.srcPD = src.HCA.AllocPD(src.HV.Dom0().Memory())
+	ch.dstPD = dst.HCA.AllocPD(dst.HV.Dom0().Memory())
+
+	ch.srcBuf = ch.srcPD.Space().Alloc(uint64(mc.ChunkBytes), 64)
+	var err error
+	ch.srcMR, err = ch.srcPD.RegisterMR(ch.srcBuf, uint64(mc.ChunkBytes), 0)
+	if err != nil {
+		return nil, fmt.Errorf("placement: migration source MR: %w", err)
+	}
+	dstBuf := ch.dstPD.Space().Alloc(uint64(mc.ChunkBytes), 64)
+	dstMR, err := ch.dstPD.RegisterMR(dstBuf, uint64(mc.ChunkBytes), hca.AccessLocalWrite)
+	if err != nil {
+		return nil, fmt.Errorf("placement: migration dest MR: %w", err)
+	}
+
+	ch.scq = ch.srcPD.CreateCQ(mc.Window + 4)
+	srcRCQ := ch.srcPD.CreateCQ(4)
+	ch.srcQP = ch.srcPD.CreateQP(ch.scq, srcRCQ, mc.Window+2, 1)
+
+	dstSCQ := ch.dstPD.CreateCQ(4)
+	dstRCQ := ch.dstPD.CreateCQ(totalChunks + 4)
+	ch.dstQP = ch.dstPD.CreateQP(dstSCQ, dstRCQ, 2, totalChunks+2)
+	for i := 0; i < totalChunks; i++ {
+		err := ch.dstQP.PostRecv(hca.RecvWR{
+			ID: uint64(i), Addr: dstBuf, LKey: dstMR.Key(), Len: mc.ChunkBytes,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("placement: migration recv ring: %w", err)
+		}
+	}
+	if err := cluster.ConnectQPs(ch.srcQP, ch.dstQP, src, dst); err != nil {
+		return nil, fmt.Errorf("placement: migration connect: %w", err)
+	}
+	return ch, nil
+}
+
+// transfer pushes n chunks through the channel with the configured window,
+// blocking on send completions (RC acks) event-style. The chunks are real
+// SEND work requests: the fabric segments them into MTUs and arbitrates
+// them against every other flow on the links, so migration visibly steals
+// bandwidth from colocated workloads.
+func (ch *migrationChannel) transfer(p *sim.Proc, n int) error {
+	posted, completed, outstanding := 0, 0, 0
+	for completed < n {
+		if posted < n && outstanding < ch.window {
+			err := ch.srcQP.PostSend(hca.SendWR{
+				ID: uint64(posted), Op: hca.OpSend,
+				LocalAddr: ch.srcBuf, LKey: ch.srcMR.Key(), Len: ch.chunk,
+			})
+			if err != nil {
+				return fmt.Errorf("placement: migration post: %w", err)
+			}
+			posted++
+			outstanding++
+			continue
+		}
+		for {
+			if cqe, ok := ch.scq.Poll(); ok {
+				if cqe.Status != hca.StatusOK {
+					return fmt.Errorf("placement: migration chunk %d: %v", cqe.WRID, cqe.Status)
+				}
+				completed++
+				outstanding--
+				break
+			}
+			ch.scq.Signal().Wait(p)
+		}
+	}
+	return nil
+}
+
+// close releases the channel's QPs (the PDs and staging MRs are dom0-side
+// and garbage; nothing references them afterwards).
+func (ch *migrationChannel) close() {
+	ch.srcPD.DestroyQP(ch.srcQP)
+	ch.dstPD.DestroyQP(ch.dstQP)
+}
+
+// Migrate live-migrates a placement's server VM to another worker host,
+// pre-copy style:
+//
+//  1. the VM keeps serving while StateBytes move over the fabric (the
+//     contention is the point — migration competes with workload I/O);
+//  2. stop-and-copy: the app stops, ResEx/IBMon drop the VM, the dirtied
+//     fraction is re-sent and the fixed downtime elapses;
+//  3. the VM is rebuilt on the target (fresh domain + PCPU), its client
+//     rebinds its RC connection to the new server endpoint, the target
+//     host's ResEx manager takes over, and everything restarts.
+//
+// Must be called from inside a running sim proc (the rebalancer's, or a
+// test driver's).
+func (f *Fleet) Migrate(p *sim.Proc, pl *Placement, to *cluster.Host, mc MigrationConfig) (MigrationRecord, error) {
+	mc = mc.withDefaults()
+	src := f.Workers[pl.HostIdx]
+	if to == src {
+		return MigrationRecord{}, fmt.Errorf("placement: %s already on node%d", pl.Spec.Name, to.Node)
+	}
+	rec := MigrationRecord{VM: pl.Spec.Name, From: src.Node, To: to.Node, Start: f.TB.Eng.Now()}
+	f.Log.Add(rec.Start, "migrate", "%s node%d->node%d: pre-copy %d MB",
+		pl.Spec.Name, src.Node, to.Node, mc.StateBytes>>20)
+
+	preChunks := mc.chunks(mc.StateBytes)
+	dirtyChunks := mc.chunks(int64(mc.DirtyFraction * float64(mc.StateBytes)))
+	ch, err := newMigrationChannel(src, to, mc, preChunks+dirtyChunks)
+	if err != nil {
+		return rec, err
+	}
+	defer ch.close()
+
+	// Phase 1: pre-copy with the VM live.
+	if err := ch.transfer(p, preChunks); err != nil {
+		return rec, err
+	}
+
+	// Phase 2: stop-and-copy.
+	downStart := f.TB.Eng.Now()
+	pl.Agent.Stop()
+	pl.App.Stop()
+	oldVM := pl.App.ServerVM
+	f.Mgrs[pl.HostIdx].Unmanage(oldVM.Dom.ID())
+	f.Mons[pl.HostIdx].UnwatchDomain(oldVM.Dom.ID())
+	if err := ch.transfer(p, dirtyChunks); err != nil {
+		return rec, err
+	}
+	p.Sleep(mc.Downtime)
+
+	// Phase 3: resume on the target.
+	pl.Migrations++
+	pl.History = append(pl.History, pl.App.Server.Stats())
+	newVM := to.NewVM(fmt.Sprintf("%s-server-vm-m%d", pl.Spec.Name, pl.Migrations))
+	server := benchex.NewServer(f.TB.Eng, newVM.VCPU, newVM.PD, pl.App.Server.Config())
+	src.RemoveVM(oldVM)
+	sqp, err := server.NewEndpoint()
+	if err != nil {
+		return rec, err
+	}
+	cqp, err := pl.App.Client.Rebind()
+	if err != nil {
+		return rec, err
+	}
+	if err := cluster.ConnectQPs(sqp, cqp, to, f.Client); err != nil {
+		return rec, err
+	}
+	pl.App.ServerVM = newVM
+	pl.App.Server = server
+	pl.App.ServerQP = sqp
+	pl.HostIdx = f.workerIdx(to.Node)
+	if err := f.manage(pl); err != nil {
+		return rec, err
+	}
+	pl.App.Start()
+	pl.Agent.Start()
+	pl.intfEpochs, pl.lastIntf, pl.lastCap = 0, 0, 0
+
+	rec.End = f.TB.Eng.Now()
+	rec.Downtime = rec.End - downStart
+	rec.BytesMoved = int64(preChunks+dirtyChunks) * int64(mc.ChunkBytes)
+	rec.FlowBytes = src.Uplink.FlowBytes(ch.srcQP.QPN())
+	f.Log.Migrations = append(f.Log.Migrations, rec)
+	f.Log.Add(rec.End, "migrate", "%s resumed on node%d (moved %d MB, blackout %v)",
+		pl.Spec.Name, to.Node, rec.BytesMoved>>20, rec.Downtime)
+	return rec, nil
+}

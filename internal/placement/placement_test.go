@@ -1,0 +1,268 @@
+package placement
+
+import (
+	"fmt"
+	"testing"
+
+	"resex/internal/resex"
+	"resex/internal/sim"
+)
+
+func lsWorkload(name string, seed int64) Workload {
+	return Workload{
+		Name: name, BufferSize: 64 << 10, LatencySensitive: true,
+		SLAUs: 240, Window: 1, Seed: seed,
+	}
+}
+
+func bulkWorkload(name string, seed int64) Workload {
+	return Workload{
+		Name: name, BufferSize: 2 << 20, Window: 16,
+		Interval: 3700 * sim.Microsecond, Bursty: true,
+		ProcessTime: 2 * sim.Millisecond, PipelineResponses: true, Seed: seed,
+	}
+}
+
+// pinStrategy forces every placement onto one node (to engineer bad
+// colocations for the rebalancer tests).
+type pinStrategy struct{ node int }
+
+func (s pinStrategy) Name() string { return "pin" }
+func (s pinStrategy) Pick(hosts []*HostInfo, sp Spec, _ *sim.Rand) (*HostInfo, []HostScore, error) {
+	for _, h := range hosts {
+		if h.Node == s.node {
+			return h, nil, nil
+		}
+	}
+	return nil, nil, fmt.Errorf("pin: node %d not offered", s.node)
+}
+
+func TestPipelineSelectTieBreakAndDeterminism(t *testing.T) {
+	mk := func() []*HostInfo {
+		return []*HostInfo{
+			{Node: 3, FreePCPUs: 4, TotalPCPUs: 7, ResoHeadroom: 1},
+			{Node: 1, FreePCPUs: 4, TotalPCPUs: 7, ResoHeadroom: 1},
+			{Node: 2, FreePCPUs: 0, TotalPCPUs: 7, ResoHeadroom: 1},
+		}
+	}
+	pipe := NewInterferencePipeline()
+	spec := Spec{Name: "ls", LatencySensitive: true, BufferSize: 64 << 10}
+	best, trace, err := pipe.Select(mk(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if best.Node != 1 {
+		t.Errorf("tie should break to lowest node, got %d", best.Node)
+	}
+	if len(trace) != 3 || trace[0].Node != 1 || trace[1].Node != 2 || trace[2].Node != 3 {
+		t.Errorf("trace not sorted by node: %+v", trace)
+	}
+	if trace[1].Feasible {
+		t.Error("full host passed the PCPU filter")
+	}
+	again, _, _ := pipe.Select(mk(), spec)
+	if again.Node != best.Node {
+		t.Error("Select not deterministic")
+	}
+
+	// No feasible host at all.
+	if _, _, err := pipe.Select([]*HostInfo{{Node: 1, TotalPCPUs: 7}}, spec); err == nil {
+		t.Error("expected error with no feasible host")
+	}
+}
+
+func TestInterferenceAwareBeatsSpreadOnContaminatedHost(t *testing.T) {
+	bulk := VMInfo{
+		Spec:        Spec{Name: "bulk", BufferSize: 2 << 20},
+		BytesPerSec: 500e6, MTUsPerSec: 500e3, BufferSize: 2 << 20,
+	}
+	ls := VMInfo{Spec: Spec{Name: "ls", LatencySensitive: true, BufferSize: 64 << 10}}
+	mk := func() []*HostInfo {
+		return []*HostInfo{
+			// Emptier but contaminated by a hard-driving bulk sender.
+			{Node: 1, FreePCPUs: 6, TotalPCPUs: 7, LinkBytesPerSec: 1e9,
+				IOCommitted: 0.5, ResoHeadroom: 0.8, VMs: []VMInfo{bulk}},
+			// Fuller but clean.
+			{Node: 2, FreePCPUs: 4, TotalPCPUs: 7, LinkBytesPerSec: 1e9,
+				IOCommitted: 0.3, ResoHeadroom: 0.8, VMs: []VMInfo{ls, ls, ls}},
+		}
+	}
+	spec := Spec{Name: "ls-new", LatencySensitive: true, BufferSize: 64 << 10}
+
+	spread, _, err := NewSpreadPipeline().Select(mk(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spread.Node != 1 {
+		t.Errorf("spread should chase free CPUs onto node1, got %d", spread.Node)
+	}
+	aware, _, err := NewInterferencePipeline().Select(mk(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if aware.Node != 2 {
+		t.Errorf("interference-aware should avoid the bulk sender, got node%d", aware.Node)
+	}
+
+	// Symmetric: an arriving bulk VM should avoid the latency-sensitive
+	// crowd even though their host has more free CPUs.
+	bulkSpec := Spec{Name: "bulk-new", BufferSize: 2 << 20}
+	hosts := []*HostInfo{
+		{Node: 1, FreePCPUs: 4, TotalPCPUs: 7, LinkBytesPerSec: 1e9, ResoHeadroom: 1,
+			VMs: []VMInfo{ls, ls, ls}},
+		{Node: 2, FreePCPUs: 3, TotalPCPUs: 7, LinkBytesPerSec: 1e9, ResoHeadroom: 1,
+			VMs: []VMInfo{bulk}},
+	}
+	got, _, err := NewInterferencePipeline().Select(hosts, bulkSpec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Node != 2 {
+		t.Errorf("arriving bulk VM should join the bulk host, got node%d", got.Node)
+	}
+}
+
+func TestFleetPlacementSegregatesClasses(t *testing.T) {
+	f := NewFleet(Config{Hosts: 2, Seed: 7})
+	bulk, err := f.Place(bulkWorkload("bulk0", 101))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ls0, err := f.Place(lsWorkload("ls0", 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ls1, err := f.Place(lsWorkload("ls1", 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ls0.HostIdx == bulk.HostIdx || ls1.HostIdx == bulk.HostIdx {
+		t.Fatalf("latency-sensitive VM colocated with interferer: bulk=%d ls0=%d ls1=%d",
+			bulk.HostIdx, ls0.HostIdx, ls1.HostIdx)
+	}
+	f.TB.Eng.RunUntil(300 * sim.Millisecond)
+	for _, pl := range []*Placement{ls0, ls1} {
+		st := pl.App.Server.Stats()
+		if st.Served < 100 {
+			t.Errorf("%s served only %d requests", pl.Spec.Name, st.Served)
+		}
+		if mean := st.Total.Mean(); mean > 280 {
+			t.Errorf("%s mean service time %.1fµs on a clean host", pl.Spec.Name, mean)
+		}
+	}
+	if got := len(f.Placements()); got != 3 {
+		t.Errorf("placements = %d, want 3", got)
+	}
+}
+
+func TestMigrationMovesStateOverFabricAndResumes(t *testing.T) {
+	const state = 8 << 20
+	run := func() (MigrationRecord, string) {
+		f := NewFleet(Config{Hosts: 2, Seed: 3})
+		pl, err := f.Place(lsWorkload("ls0", 1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		src := f.Workers[pl.HostIdx]
+		var rec MigrationRecord
+		var migErr error
+		var servedBefore int64
+		f.TB.Eng.Go("driver", func(p *sim.Proc) {
+			p.Sleep(100 * sim.Millisecond)
+			servedBefore = pl.App.Server.Stats().Served
+			rec, migErr = f.Migrate(p, pl, f.Workers[1], MigrationConfig{StateBytes: state})
+		})
+		f.TB.Eng.RunUntil(500 * sim.Millisecond)
+		if migErr != nil {
+			t.Fatal(migErr)
+		}
+		if servedBefore == 0 {
+			t.Error("server idle before migration")
+		}
+		served := pl.App.Server.Stats().Served
+		fp := fmt.Sprintf("%v %v %d %d", rec.Start, rec.End, rec.FlowBytes, served)
+
+		if rec.From != src.Node || rec.To != 2 {
+			t.Errorf("migration route %d->%d, want %d->2", rec.From, rec.To, src.Node)
+		}
+		if rec.FlowBytes < state {
+			t.Errorf("source uplink accounted %d migration bytes, want >= %d (migration must ride the fabric)",
+				rec.FlowBytes, state)
+		}
+		if rec.Downtime <= 0 || rec.End <= rec.Start {
+			t.Errorf("degenerate migration timing: %+v", rec)
+		}
+		if pl.App.ServerVM.Host != f.Workers[1] {
+			t.Error("server VM not on the target host")
+		}
+		if served == 0 {
+			t.Error("server never served after resume")
+		}
+		if got := len(pl.Records()); got == 0 {
+			t.Error("timeline lost across migration")
+		}
+		// The source host got its PCPU back and dropped the VM from
+		// management.
+		if free := src.FreePCPUs(); free != 7 {
+			t.Errorf("source host free PCPUs = %d, want 7", free)
+		}
+		if f.Mgrs[0].VM(pl.App.ServerVM.Dom.ID()) != nil {
+			t.Error("source manager still manages the migrated VM")
+		}
+		if f.Mgrs[1].VM(pl.App.ServerVM.Dom.ID()) == nil {
+			t.Error("target manager does not manage the migrated VM")
+		}
+		return rec, fp
+	}
+	_, fp1 := run()
+	_, fp2 := run()
+	if fp1 != fp2 {
+		t.Errorf("migration not deterministic:\n  %s\n  %s", fp1, fp2)
+	}
+}
+
+func TestRebalancerEvacuatesThrottleProofInterferer(t *testing.T) {
+	// Pin both workloads onto node1 under FreeMarket (which never throttles
+	// on latency): the only way out for the latency-sensitive VM is the
+	// rebalancer migrating the interferer away.
+	f := NewFleet(Config{
+		Hosts:             2,
+		Seed:              11,
+		IntervalsPerEpoch: 100,
+		Strategy:          pinStrategy{node: 1},
+		Policy:            func() resex.Policy { return resex.NewFreeMarket() },
+	})
+	ls, err := f.Place(lsWorkload("ls0", 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	bulk, err := f.Place(bulkWorkload("bulk0", 102))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rb := NewRebalancer(f, RebalanceConfig{
+		Every: 1, Patience: 2,
+		Migration: MigrationConfig{StateBytes: 8 << 20},
+	})
+	rb.Start()
+	f.TB.Eng.RunUntil(1500 * sim.Millisecond)
+
+	if len(f.Log.Migrations) == 0 {
+		t.Fatal("rebalancer never migrated despite a throttle-proof interferer")
+	}
+	first := f.Log.Migrations[0]
+	if first.VM != "bulk0" {
+		t.Errorf("rebalancer moved %q, want the interferer bulk0", first.VM)
+	}
+	if ls.HostIdx == bulk.HostIdx {
+		t.Error("workloads still colocated after rebalancing")
+	}
+	if st := bulk.App.Server.Stats(); st.Served == 0 {
+		t.Error("interferer dead after migration")
+	}
+	// The victim must be healthy again at the end: its final epoch summary
+	// shows (near-)baseline latency.
+	if ls.lastIntf > 20 {
+		t.Errorf("victim still %v%% elevated at end of run", ls.lastIntf)
+	}
+}

@@ -1,0 +1,172 @@
+package placement
+
+import (
+	"resex/internal/sim"
+)
+
+// RebalanceConfig parameterizes the rebalancer loop.
+type RebalanceConfig struct {
+	// Every is the pass period in ResEx epochs. Default 2.
+	Every int
+	// Patience is how many consecutive breached epochs a latency-sensitive
+	// VM must accumulate before the rebalancer acts — throttling gets that
+	// long to fix the problem in place. Default 2.
+	Patience int
+	// CapFloorPct: an interferer whose CPU cap is at or below this is
+	// considered fully throttled; if the victim still breaches, the only
+	// remedy left is moving someone. Default 5.
+	CapFloorPct float64
+	// LargeBuffer classifies interferer candidates, like the scorer's
+	// threshold. Default 256 KB.
+	LargeBuffer int
+	// MaxMigrations bounds total migrations (safety valve against
+	// thrashing). Default 8.
+	MaxMigrations int
+	// Migration is the cost model for the moves.
+	Migration MigrationConfig
+}
+
+func (c RebalanceConfig) withDefaults() RebalanceConfig {
+	if c.Every <= 0 {
+		c.Every = 2
+	}
+	if c.Patience <= 0 {
+		c.Patience = 2
+	}
+	if c.CapFloorPct <= 0 {
+		c.CapFloorPct = 5
+	}
+	if c.LargeBuffer <= 0 {
+		c.LargeBuffer = 256 << 10
+	}
+	if c.MaxMigrations <= 0 {
+		c.MaxMigrations = 8
+	}
+	return c
+}
+
+// Rebalancer is the fleet's reactive loop: every K epochs it reads the
+// breach counters the per-host ResEx epoch summaries feed (Fleet.onEpoch)
+// and live-migrates either the interferer or the victim when a host's
+// pricing policy has run out of throttle.
+type Rebalancer struct {
+	f       *Fleet
+	cfg     RebalanceConfig
+	pipe    *Pipeline
+	proc    *sim.Proc
+	running bool
+}
+
+// NewRebalancer creates a rebalancer using the interference-aware pipeline
+// to pick migration targets.
+func NewRebalancer(f *Fleet, cfg RebalanceConfig) *Rebalancer {
+	return &Rebalancer{f: f, cfg: cfg.withDefaults(), pipe: NewInterferencePipeline()}
+}
+
+// Start launches the periodic pass.
+func (r *Rebalancer) Start() {
+	if r.running {
+		return
+	}
+	r.running = true
+	r.proc = r.f.TB.Eng.Go("rebalancer", func(p *sim.Proc) {
+		period := sim.Time(r.cfg.Every) * r.f.EpochDuration()
+		for r.running {
+			p.Sleep(period)
+			r.pass(p)
+		}
+	})
+}
+
+// Stop halts the loop.
+func (r *Rebalancer) Stop() {
+	r.running = false
+	if r.proc != nil && !r.proc.Ended() {
+		r.proc.Kill()
+	}
+}
+
+// pass inspects the fleet and performs at most one migration. Placement
+// order makes every choice deterministic.
+func (r *Rebalancer) pass(p *sim.Proc) {
+	f := r.f
+	if len(f.Log.Migrations) >= r.cfg.MaxMigrations {
+		return
+	}
+
+	// Victim: the latency-sensitive VM breached longest past patience,
+	// worst current elevation first.
+	var victim *Placement
+	for _, pl := range f.placements {
+		if !pl.Spec.LatencySensitive || pl.intfEpochs < r.cfg.Patience {
+			continue
+		}
+		if victim == nil || pl.lastIntf > victim.lastIntf {
+			victim = pl
+		}
+	}
+	if victim == nil {
+		return
+	}
+	srcIdx := victim.HostIdx
+	src := f.Workers[srcIdx]
+
+	// Interferer on the victim's host: the hardest-driving large-buffer
+	// bulk VM, by IBMon profile.
+	var intf *Placement
+	var intfRate float64
+	for _, pl := range f.placements {
+		if pl.HostIdx != srcIdx || pl.Spec.LatencySensitive {
+			continue
+		}
+		if pl.Spec.BufferSize < r.cfg.LargeBuffer {
+			continue
+		}
+		rate := 0.0
+		if prof, ok := f.Mons[srcIdx].ProfileOf(pl.App.ServerVM.Dom.ID()); ok {
+			rate = prof.BytesPerSec
+		}
+		if intf == nil || rate > intfRate {
+			intf, intfRate = pl, rate
+		}
+	}
+
+	mover := victim
+	if intf != nil {
+		if intf.lastCap > r.cfg.CapFloorPct && victim.intfEpochs < 2*r.cfg.Patience {
+			// The host policy still has throttle headroom; give it until
+			// 2×Patience epochs before forcing a move anyway (a policy like
+			// FreeMarket may never throttle on latency at all).
+			f.Log.Add(f.TB.Eng.Now(), "rebalance",
+				"%s breached %d epochs; waiting for node%d to throttle %s (cap %.0f%%)",
+				victim.Spec.Name, victim.intfEpochs, src.Node, intf.Spec.Name, intf.lastCap)
+			return
+		}
+		mover = intf
+	}
+
+	// Score every host as if the mover were not placed yet; migrate only to
+	// a strictly better home — when its current host wins (or ties), moving
+	// would be churn, not improvement.
+	target, _, err := r.pipe.Select(f.buildSnapshot(0, mover), mover.Spec)
+	if err != nil {
+		f.Log.Add(f.TB.Eng.Now(), "rebalance", "%s needs to move off node%d but %v",
+			mover.Spec.Name, src.Node, err)
+		return
+	}
+	if target.Node == src.Node {
+		f.Log.Add(f.TB.Eng.Now(), "rebalance",
+			"%s stays on node%d (no strictly better host)", mover.Spec.Name, src.Node)
+		return
+	}
+	f.Log.Add(f.TB.Eng.Now(), "rebalance",
+		"victim %s (intf %.0f%% for %d epochs) -> migrating %s node%d->node%d",
+		victim.Spec.Name, victim.lastIntf, victim.intfEpochs,
+		mover.Spec.Name, src.Node, target.Node)
+	if _, err := f.Migrate(p, mover, f.Workers[f.workerIdx(target.Node)], r.cfg.Migration); err != nil {
+		f.Log.Add(f.TB.Eng.Now(), "rebalance", "migration of %s failed: %v", mover.Spec.Name, err)
+		return
+	}
+	// Give the fabric a fresh observation window before judging again.
+	victim.intfEpochs = 0
+}

@@ -155,6 +155,17 @@ func RenderSVG(res experiments.Result) (string, error) {
 		return LineChart("Ablation: consolidation density",
 			"collocated apps", "latency (µs)", []*stats.Series{s, sla}), nil
 
+	case *experiments.AblPlacementResult:
+		groups := make([]string, 0, len(r.Rows))
+		vals := make([][]float64, 0, len(r.Rows))
+		for _, row := range r.Rows {
+			groups = append(groups, fmt.Sprintf("%s %dx%d", row.Strategy, row.Hosts, row.VMs))
+			vals = append(vals, []float64{row.SLAPct, row.BulkMBs / 10})
+		}
+		return GroupedBarChart("Ablation: placement strategy vs SLA attainment",
+			"SLA attainment (%) / bulk egress (10 MB/s)", groups,
+			[]string{"SLA %", "bulk 10MB/s"}, vals), nil
+
 	case *experiments.SoftRTResult:
 		groups := make([]string, 0, len(r.Rows))
 		vals := make([][]float64, 0, len(r.Rows))

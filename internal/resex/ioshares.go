@@ -77,7 +77,11 @@ func (io *IOShares) Interval(m *Manager, d *IntervalData) {
 	for i := range d.VMs {
 		t := &d.VMs[i]
 		vm := t.VM
-		if d.Index <= io.WarmupIntervals || totalRate <= 0 {
+		// Per-VM warmup: a VM managed mid-run must build its own latency
+		// and usage history before it may claim victimhood — during its
+		// MTU-EWMA ramp an identical established neighbor would otherwise
+		// clear the MinShare guard and be blamed for arrival jitter.
+		if vm.intervals <= io.WarmupIntervals || totalRate <= 0 {
 			vm.interfered = false
 			continue
 		}

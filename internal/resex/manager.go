@@ -120,6 +120,17 @@ type ManagedVM struct {
 	sla        float64 // explicit SLA latency (0 = learn)
 	cleanRuns  int     // consecutive intervals without interference
 	interfered bool    // last interval judged interfered
+	intervals  int64   // intervals since this VM came under management
+
+	// Epoch accumulators backing the exported EpochSummary.
+	epMTUs       int64
+	epCPUPct     float64 // sum of per-interval CPU percents
+	epIntervals  int
+	epLat        stats.Summary // report means weighted by report count, µs
+	epElev       stats.Summary // per-interval elevation over baseline, %
+	epInterfered bool
+	epIOMark     resos.Amount // cumulative charges at the last boundary
+	epCPUMark    resos.Amount
 }
 
 // Rate returns the VM's current charging rate.
@@ -182,14 +193,15 @@ type Observer func(d *IntervalData)
 
 // Manager is the ResEx dom0 control loop.
 type Manager struct {
-	eng    *sim.Engine
-	hv     *xen.Hypervisor
-	mon    *ibmon.Monitor
-	vcpu   *xen.VCPU // dom0 VCPU; nil = unaccounted
-	cfg    Config
-	policy Policy
-	vms    []*ManagedVM
-	obs    []Observer
+	eng      *sim.Engine
+	hv       *xen.Hypervisor
+	mon      *ibmon.Monitor
+	vcpu     *xen.VCPU // dom0 VCPU; nil = unaccounted
+	cfg      Config
+	policy   Policy
+	vms      []*ManagedVM
+	obs      []Observer
+	epochObs []EpochObserver
 
 	proc     *sim.Proc
 	running  bool
@@ -273,6 +285,28 @@ func (m *Manager) ManageCQs(dom *xen.Domain, cqs []*hca.CQ, slaLatencyUs float64
 	m.vms = append(m.vms, vm)
 	m.reallocate()
 	return vm, nil
+}
+
+// Unmanage releases a domain from ResEx control: its IBMon watches are
+// dropped, any enforced cap is lifted, and the remaining VMs' allocations
+// are recomputed. Live migration calls this on the source host before the
+// VM re-registers with the target host's manager.
+func (m *Manager) Unmanage(dom xen.DomID) {
+	for i, vm := range m.vms {
+		if vm.Dom.ID() != dom {
+			continue
+		}
+		for _, tgt := range vm.targets {
+			m.mon.Unwatch(tgt)
+		}
+		if vm.capForced {
+			vm.Dom.SetCap(0)
+			vm.capForced = false
+		}
+		m.vms = append(m.vms[:i], m.vms[i+1:]...)
+		m.reallocate()
+		return
+	}
 }
 
 // SetShare assigns a VM an allocation weight (priority). The I/O supply is
@@ -360,6 +394,7 @@ func (m *Manager) tick() {
 	m.interval++
 	d := &IntervalData{Index: m.interval, Now: m.eng.Now()}
 	for _, vm := range m.vms {
+		vm.intervals++
 		var sent int64
 		for _, tgt := range vm.targets {
 			sent += tgt.Usage().MTUsSent
@@ -390,15 +425,41 @@ func (m *Manager) tick() {
 		if vm.sla > 0 {
 			vm.baseline = vm.sla
 		}
+
+		// Epoch accumulators. The elevation percent is computed here, not
+		// in any policy, so EpochSummary carries an interference signal no
+		// matter which pricing scheme is active.
+		vm.epMTUs += mtus
+		vm.epCPUPct += pct
+		vm.epIntervals++
+		if lw.Count > 0 {
+			vm.epLat.AddN(lw.Mean, lw.Count)
+			if vm.baseline > 0 {
+				elev := 100 * (lw.Mean - vm.baseline) / vm.baseline
+				if elev < 0 {
+					elev = 0
+				}
+				vm.epElev.Add(elev)
+			}
+		}
 	}
 
 	m.policy.Interval(m, d)
+	for _, vm := range m.vms {
+		if vm.interfered {
+			vm.epInterfered = true
+		}
+	}
 
 	if m.interval%int64(m.cfg.IntervalsPerEpoch) == 0 {
+		es := m.epochSummary()
 		for _, vm := range m.vms {
 			vm.Account.Replenish()
 		}
 		m.policy.EpochStart(m)
+		for _, o := range m.epochObs {
+			o(es)
+		}
 	}
 	for _, o := range m.obs {
 		o(d)

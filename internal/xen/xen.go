@@ -194,6 +194,45 @@ func (d *Domain) SetCap(pct int) {
 	}
 }
 
+// DestroyDomain tears a domain down: its VCPUs are detached from their
+// PCPUs (any active grant is revoked) and the domain is removed from the
+// hypervisor's registry, as xl destroy does. The caller must have stopped
+// every guest process still blocked on the domain's VCPUs — a thread parked
+// in Use/SpinWait on a detached VCPU would never be scheduled again.
+// Destroying dom0 is not allowed.
+func (hv *Hypervisor) DestroyDomain(d *Domain) {
+	if d == hv.domains[0] {
+		panic("xen: cannot destroy dom0")
+	}
+	for _, v := range d.vcpus {
+		v.detach()
+	}
+	for i, dd := range hv.domains {
+		if dd == d {
+			hv.domains = append(hv.domains[:i], hv.domains[i+1:]...)
+			break
+		}
+	}
+}
+
+// detach unpins the VCPU from its PCPU, revoking an in-flight grant, so the
+// PCPU can be reassigned (live migration frees the source host's PCPU).
+func (v *VCPU) detach() {
+	c := v.pcpu
+	if c.current == v {
+		c.grantTimer.Stop()
+		v.running = false
+		c.current = nil
+	}
+	for i, w := range c.vcpus {
+		if w == v {
+			c.vcpus = append(c.vcpus[:i], c.vcpus[i+1:]...)
+			break
+		}
+	}
+	c.maybeReschedule()
+}
+
 // AddVCPU creates a VCPU for the domain pinned to the given PCPU.
 func (d *Domain) AddVCPU(pcpu *PCPU) *VCPU {
 	v := &VCPU{
