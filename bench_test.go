@@ -1,13 +1,17 @@
 package resex
 
 import (
+	"encoding/json"
 	"fmt"
+	"os"
 	"testing"
+	"time"
 
 	"resex/internal/benchex"
 	"resex/internal/cluster"
 	"resex/internal/experiments"
 	"resex/internal/fabric"
+	"resex/internal/faults"
 	"resex/internal/ibmon"
 	"resex/internal/resex"
 	"resex/internal/sim"
@@ -481,5 +485,85 @@ func BenchmarkFullStackSimSecond(b *testing.B) {
 		s.Start()
 		s.TB.Eng.RunUntil(sim.Second)
 		s.Shutdown()
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Fault injection: end-to-end ablation + hot-loop overhead budget.
+// ---------------------------------------------------------------------------
+
+// BenchmarkAblFaults exercises the fault-storm ablation end to end
+// (naive and degradation-aware stacks across the intensity sweep).
+func BenchmarkAblFaults(b *testing.B) { runFigure(b, "abl-faults") }
+
+// BenchmarkFaultsEmptyScheduleOverhead measures what merely wiring the
+// injector — hosts attached, empty schedule armed — costs the hot event
+// loop, against the ≤2% budget. One simulated second of the full
+// ResEx/IOShares scenario per configuration per iteration; the paired
+// timings and overhead are written to BENCH_faults.json.
+func BenchmarkFaultsEmptyScheduleOverhead(b *testing.B) {
+	run := func(withInjector bool) time.Duration {
+		s, err := experiments.Build(experiments.ScenarioConfig{
+			IntfBuffer: experiments.IntfBuffer,
+			Policy:     resex.NewIOShares(),
+			SLAUs:      experiments.BaseSLAUs,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if withInjector {
+			h := s.TB.Host(1)
+			inj := faults.NewInjector(s.TB.Eng)
+			inj.AttachHost(faults.HostPorts{
+				Node: h.Node, Uplink: h.Uplink, Downlink: h.Downlink,
+				HCA: h.HCA, Mon: s.Mon,
+			})
+			inj.Arm(faults.Schedule{})
+		}
+		s.Start()
+		start := time.Now()
+		s.TB.Eng.RunUntil(sim.Second)
+		elapsed := time.Since(start)
+		s.Shutdown()
+		return elapsed
+	}
+	// Compare the fastest observed run per configuration: the injector
+	// adds no events for an empty schedule, so the minimum strips GC and
+	// scheduler noise that a sum would count against one side.
+	min := func(a, b time.Duration) time.Duration {
+		if b < a {
+			return b
+		}
+		return a
+	}
+	base, armed := time.Duration(1<<62), time.Duration(1<<62)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// Alternate which configuration runs first so allocator/GC drift
+		// within an iteration cancels instead of biasing one side.
+		if i%2 == 0 {
+			base = min(base, run(false))
+			armed = min(armed, run(true))
+		} else {
+			armed = min(armed, run(true))
+			base = min(base, run(false))
+		}
+	}
+	b.StopTimer()
+	overhead := 100 * (armed.Seconds() - base.Seconds()) / base.Seconds()
+	b.ReportMetric(overhead, "overhead_%")
+	out, err := json.MarshalIndent(map[string]any{
+		"benchmark":             "BenchmarkFaultsEmptyScheduleOverhead",
+		"iterations":            b.N,
+		"baseline_ns_per_sim_s": base.Nanoseconds(),
+		"armed_ns_per_sim_s":    armed.Nanoseconds(),
+		"overhead_pct":          overhead,
+		"budget_pct":            2.0,
+	}, "", "  ")
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := os.WriteFile("BENCH_faults.json", append(out, '\n'), 0o644); err != nil {
+		b.Fatal(err)
 	}
 }

@@ -60,6 +60,19 @@ func main() {
 		os.Exit(2)
 	}
 
+	// Validate every id up front: an unknown experiment must fail fast with
+	// the valid names, not after earlier runs burned minutes of sim time.
+	for _, id := range ids {
+		if _, err := experiments.Lookup(id); err != nil {
+			fmt.Fprintf(os.Stderr, "resexsim: unknown experiment %q\n\nvalid experiments:\n", id)
+			for _, vid := range experiments.IDs() {
+				e, _ := experiments.Lookup(vid)
+				fmt.Fprintf(os.Stderr, "  %-14s %s\n", e.ID, e.Title)
+			}
+			os.Exit(2)
+		}
+	}
+
 	opts := experiments.Options{
 		Duration: sim.Time(duration.Nanoseconds()),
 		Warmup:   sim.Time(warmup.Nanoseconds()),
@@ -67,11 +80,7 @@ func main() {
 	}
 	var index []report.IndexEntry
 	for _, id := range ids {
-		e, err := experiments.Lookup(id)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(2)
-		}
+		e, _ := experiments.Lookup(id)
 		start := time.Now()
 		res, err := e.Run(opts)
 		if err != nil {

@@ -7,6 +7,10 @@
 //
 //	resextop                       # IOShares, 2s, 100ms refresh
 //	resextop -policy freemarket -duration 3s -refresh 250ms
+//	resextop -faults 4             # inject 4 fault storms/s; watch health
+//
+// Each refresh also shows the host's health (OK/degraded/blackout) and every
+// VM's IBMon telemetry confidence, which matter once faults are injected.
 package main
 
 import (
@@ -17,6 +21,7 @@ import (
 	"time"
 
 	"resex/internal/experiments"
+	"resex/internal/faults"
 	"resex/internal/resex"
 	"resex/internal/sim"
 )
@@ -26,6 +31,8 @@ func main() {
 		policyName = flag.String("policy", "ioshares", "pricing policy: freemarket or ioshares")
 		duration   = flag.Duration("duration", 2*time.Second, "virtual run time")
 		refresh    = flag.Duration("refresh", 100*time.Millisecond, "virtual time between table prints")
+		storms     = flag.Float64("faults", 0, "fault storms per second to inject (0 = none)")
+		seed       = flag.Int64("seed", 0, "fault schedule seed")
 	)
 	flag.Parse()
 
@@ -48,6 +55,22 @@ func main() {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "resextop:", err)
 		os.Exit(1)
+	}
+
+	runFor := sim.Time(duration.Nanoseconds())
+	if *storms > 0 {
+		h := s.TB.Host(1)
+		inj := faults.NewInjector(s.TB.Eng)
+		inj.AttachHost(faults.HostPorts{
+			Node: h.Node, Uplink: h.Uplink, Downlink: h.Downlink,
+			HCA: h.HCA, Mon: s.Mon,
+		})
+		inj.Arm(faults.Generate(*seed, faults.GenConfig{
+			Hosts:        []int{h.Node},
+			Start:        200 * sim.Millisecond,
+			Horizon:      runFor,
+			StormsPerSec: *storms,
+		}))
 	}
 
 	period := sim.Time(refresh.Nanoseconds())
@@ -79,9 +102,9 @@ func main() {
 		if d.Index%every != 0 {
 			return
 		}
-		fmt.Printf("\n[t=%v]\n", d.Now)
-		fmt.Printf("%-18s %7s %10s %7s %6s %12s %8s\n",
-			"VM", "CPU%", "MTUs/s", "rate", "cap%", "resos", "intf?")
+		fmt.Printf("\n[t=%v]  host1 health: %s\n", d.Now, s.Mon.Health())
+		fmt.Printf("%-18s %7s %10s %7s %6s %12s %6s %8s\n",
+			"VM", "CPU%", "MTUs/s", "rate", "cap%", "resos", "conf", "intf?")
 		for i := range d.VMs {
 			t := &d.VMs[i]
 			a := acc[t.VM.Dom.Name()]
@@ -96,14 +119,14 @@ func main() {
 				intf = "taxed"
 			}
 			perSec := float64(a.mtus) / (float64(a.n) * interval.Seconds())
-			fmt.Printf("%-18s %7.1f %10.0f %7.2f %6s %12d %8s\n",
+			fmt.Printf("%-18s %7.1f %10.0f %7.2f %6s %12d %6.2f %8s\n",
 				t.VM.Dom.Name(), a.cpu/float64(a.n), perSec,
-				t.VM.Rate(), capStr, t.VM.Account.Balance(), intf)
+				t.VM.Rate(), capStr, t.VM.Account.Balance(), t.Confidence, intf)
 			*a = accum{}
 		}
 	})
 
 	s.Start()
-	s.TB.Eng.RunUntil(sim.Time(duration.Nanoseconds()))
+	s.TB.Eng.RunUntil(runFor)
 	s.Shutdown()
 }

@@ -266,7 +266,7 @@ func TestFig9Shape(t *testing.T) {
 
 func TestRegistry(t *testing.T) {
 	ids := IDs()
-	if len(ids) != 15 { // 9 figures + 5 ablations + softrt extension
+	if len(ids) != 16 { // 9 figures + 6 ablations + softrt extension
 		t.Fatalf("IDs = %v", ids)
 	}
 	for _, id := range ids {
@@ -432,5 +432,72 @@ func TestOptionsDefaults(t *testing.T) {
 	o := Options{}.WithDefaults()
 	if o.Duration != 2*sim.Second || o.Warmup != 100*sim.Millisecond {
 		t.Errorf("defaults: %+v", o)
+	}
+}
+
+func TestAblFaultsShape(t *testing.T) {
+	r, err := AblFaults(Options{Duration: 400 * sim.Millisecond, Warmup: 50 * sim.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 8 { // 4 intensities × 2 stacks
+		t.Fatalf("rows = %d", len(r.Rows))
+	}
+	get := func(storms float64, stack string) AblFaultsRow {
+		for _, row := range r.Rows {
+			if row.StormsPerSec == storms && row.Stack == stack {
+				return row
+			}
+		}
+		t.Fatalf("missing %v/%s", storms, stack)
+		return AblFaultsRow{}
+	}
+	// No faults: the stacks are indistinguishable and healthy.
+	n0, a0 := get(0, "naive"), get(0, "aware")
+	if n0.SLAPct < 99 || a0.SLAPct < 99 {
+		t.Errorf("fault-free SLA naive %.1f%% / aware %.1f%%, want ~100", n0.SLAPct, a0.SLAPct)
+	}
+	if n0.Faults != 0 || n0.Wrongful != 0 || a0.Held != 0 {
+		t.Errorf("fault-free run recorded faults=%d wrongful=%d held=%d", n0.Faults, n0.Wrongful, a0.Held)
+	}
+	for _, row := range r.Rows {
+		// The gate's contract: the aware stack never throttles on stale
+		// evidence, at any intensity.
+		if row.Stack == "aware" && row.Wrongful != 0 {
+			t.Errorf("aware stack at %v storms/s: %d wrongful throttles, want 0",
+				row.StormsPerSec, row.Wrongful)
+		}
+	}
+	// At the top intensity the aware stack must hold what the naive stack
+	// gives away (the full-length experiment shows naive <70%, aware >90%;
+	// the quick run just demands separation and naive wrongful throttles).
+	nTop, aTop := get(24, "naive"), get(24, "aware")
+	if nTop.Wrongful == 0 {
+		t.Error("top intensity never wrongfully throttled the naive stack")
+	}
+	if aTop.SLAPct <= nTop.SLAPct {
+		t.Errorf("top intensity: aware %.1f%% SLA not above naive %.1f%%", aTop.SLAPct, nTop.SLAPct)
+	}
+	if aTop.Held == 0 {
+		t.Error("aware stack held no tightenings under heavy faults")
+	}
+	_, csv := renderBoth(t, r)
+	if !strings.Contains(csv, "storms_per_sec,stack,sla_pct") {
+		t.Error("rendering content")
+	}
+}
+
+func TestAblFaultsDeterministic(t *testing.T) {
+	o := Options{Duration: 300 * sim.Millisecond, Warmup: 50 * sim.Millisecond, Seed: 9}
+	a, err := runFaultsRow(o, 12, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := runFaultsRow(o, 12, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Errorf("same seed diverged:\n  %+v\n  %+v", a, b)
 	}
 }

@@ -48,6 +48,8 @@ func init() {
 		func(o Options) (Result, error) { return AblCapacity(o) })
 	register("abl-placement", "Ablation: interference-aware placement and live migration",
 		func(o Options) (Result, error) { return AblPlacement(o) })
+	register("abl-faults", "Ablation: fault injection and graceful degradation",
+		func(o Options) (Result, error) { return AblFaults(o) })
 	register("softrt", "Extension: soft-real-time stream deadline misses",
 		func(o Options) (Result, error) { return SoftRT(o) })
 }

@@ -97,6 +97,10 @@ type Link struct {
 	perFlow map[uint32]int64 // bytes per flow, for IOShare accounting
 	stats   LinkStats
 	wakeup  *sim.Timer // pending retry for rate-limited flows
+
+	// Fault state (driven by the faults package).
+	degrade float64 // bandwidth multiplier in (0,1]; 0 means healthy (×1)
+	down    bool    // link flapped down: serialization pauses, queues grow
 }
 
 type flowQueue struct {
@@ -142,6 +146,47 @@ func (l *Link) FlowBytes(flow uint32) int64 { return l.perFlow[flow] }
 
 // Queued returns the number of packets waiting or in flight on the wire.
 func (l *Link) Queued() int { return l.queued }
+
+// SetDegrade scales the link's effective bandwidth by factor (0 < factor ≤ 1)
+// — a degraded cable, a retraining SerDes, congestion upstream of the model.
+// Factors outside (0,1) restore full bandwidth. The packet currently being
+// serialized finishes at the rate it started with; subsequent packets use
+// the degraded rate.
+func (l *Link) SetDegrade(factor float64) {
+	if factor <= 0 || factor >= 1 {
+		factor = 0 // healthy
+	}
+	l.degrade = factor
+}
+
+// Degrade returns the active bandwidth multiplier (1 when healthy).
+func (l *Link) Degrade() float64 {
+	if l.degrade == 0 {
+		return 1
+	}
+	return l.degrade
+}
+
+// effectiveBps is the serialization rate under the active degradation.
+func (l *Link) effectiveBps() float64 {
+	if l.degrade == 0 {
+		return l.bps
+	}
+	return l.bps * l.degrade
+}
+
+// SetDown flaps the link: while down, no new packet starts serializing
+// (the one already on the wire completes) and senders keep queueing. Bringing
+// the link back up resumes transmission from the queues.
+func (l *Link) SetDown(down bool) {
+	l.down = down
+	if !down && !l.busy {
+		l.transmitNext()
+	}
+}
+
+// Down reports whether the link is currently flapped down.
+func (l *Link) Down() bool { return l.down }
 
 // SetFlowRateLimit paces a flow to at most bytesPerSec (0 removes the
 // limit). This models the per-traffic-flow bandwidth limits of newer
@@ -269,6 +314,10 @@ func (l *Link) armWakeup() {
 
 // transmitNext serializes the next queued packet.
 func (l *Link) transmitNext() {
+	if l.down {
+		l.busy = false
+		return
+	}
 	pkt := l.next()
 	if pkt == nil {
 		l.busy = false
@@ -276,7 +325,7 @@ func (l *Link) transmitNext() {
 		return
 	}
 	l.busy = true
-	ser := sim.DurationOfBytes(int64(pkt.Bytes), l.bps)
+	ser := sim.DurationOfBytes(int64(pkt.Bytes), l.effectiveBps())
 	l.stats.BusyTime += ser
 	l.eng.After(ser, func() {
 		l.stats.Packets++

@@ -86,6 +86,22 @@ type CQ struct {
 	ci       uint64 // consumed (application)
 	overruns int64
 	sig      *sim.Signal
+
+	// Completion-stall fault state: while stalled > 0 the device keeps
+	// finishing work on the wire but withholds the CQEs; they replay as one
+	// burst on resume (often overrunning the ring — the forced-overrun fault).
+	stalled  int
+	deferred []pendingCQE
+}
+
+// pendingCQE is a completion withheld by an active stall.
+type pendingCQE struct {
+	qpn     uint32
+	op      Opcode
+	status  Status
+	byteLen uint32
+	wrID    uint64
+	imm     uint32
 }
 
 // CreateCQ allocates a completion queue of the given depth (rounded up to at
@@ -137,6 +153,10 @@ func (cq *CQ) Produced() uint64 { return cq.pi }
 // consumer is slow. (This is also what makes IBMon's sampling lossy when
 // its period is too long.)
 func (cq *CQ) push(qpn uint32, op Opcode, status Status, byteLen uint32, wrID uint64, imm uint32) {
+	if cq.stalled > 0 {
+		cq.deferred = append(cq.deferred, pendingCQE{qpn, op, status, byteLen, wrID, imm})
+		return
+	}
 	if cq.pi-cq.ci >= uint64(cq.depth) {
 		cq.overruns++
 	}
@@ -157,6 +177,33 @@ func (cq *CQ) push(qpn uint32, op Opcode, status Status, byteLen uint32, wrID ui
 
 // Overruns returns how many completions overwrote unreaped entries.
 func (cq *CQ) Overruns() int64 { return cq.overruns }
+
+// Stall begins withholding completions: DMA and wire traffic continue, but
+// no CQE or doorbell update reaches guest memory until Resume. Calls nest.
+func (cq *CQ) Stall() { cq.stalled++ }
+
+// Resume ends one Stall. When the last nested stall ends, every withheld
+// completion is written back-to-back at the current instant — a burst that
+// overruns the ring whenever more completions accumulated than it holds,
+// which is exactly the forced-CQ-overrun fault and what makes a sampling
+// monitor lose entries.
+func (cq *CQ) Resume() {
+	if cq.stalled == 0 {
+		return
+	}
+	cq.stalled--
+	if cq.stalled > 0 {
+		return
+	}
+	burst := cq.deferred
+	cq.deferred = nil
+	for _, e := range burst {
+		cq.push(e.qpn, e.op, e.status, e.byteLen, e.wrID, e.imm)
+	}
+}
+
+// Stalled reports whether a completion stall is active.
+func (cq *CQ) Stalled() bool { return cq.stalled > 0 }
 
 // Poll reaps one completion if available. Like a real driver, it parses the
 // entry out of the guest-memory ring: the simulation state is the bytes.

@@ -99,6 +99,7 @@ type HCA struct {
 
 	tpt     map[uint32]*MR // by key (lkey == rkey in our simplified TPT)
 	qps     map[uint32]*QP
+	pds     []*PD // allocation order, for deterministic device-wide sweeps
 	nextKey uint32
 	nextQPN uint32
 	nextCQN uint32
@@ -161,7 +162,35 @@ func (h *HCA) QP(qpn uint32) *QP { return h.qps[qpn] }
 func (h *HCA) AllocPD(space *guestmem.Space) *PD {
 	pd := &PD{hca: h, id: h.nextPD, space: space}
 	h.nextPD++
+	h.pds = append(h.pds, pd)
 	return pd
+}
+
+// PDs returns every protection domain allocated on this adapter, in
+// allocation order (deterministic).
+func (h *HCA) PDs() []*PD { return h.pds }
+
+// StallCompletions begins a device-wide completion stall: every CQ on the
+// adapter withholds CQEs and doorbell updates (the wire keeps moving). This
+// models a firmware hiccup or an EQ/interrupt-moderation stall. Nested
+// per-CQ via CQ.Stall.
+func (h *HCA) StallCompletions() {
+	for _, pd := range h.pds {
+		for _, cq := range pd.cqs {
+			cq.Stall()
+		}
+	}
+}
+
+// ResumeCompletions ends a device-wide stall; each CQ replays its withheld
+// burst (see CQ.Resume). CQs created during the stall were never stalled and
+// are unaffected.
+func (h *HCA) ResumeCompletions() {
+	for _, pd := range h.pds {
+		for _, cq := range pd.cqs {
+			cq.Resume()
+		}
+	}
 }
 
 // PD is a protection domain: the container real verbs use to tie MRs, QPs

@@ -67,6 +67,15 @@ type Config struct {
 	SampleBaseCost sim.Time
 	// SampleEntryCost is dom0 CPU charged per parsed CQE. Default 50 ns.
 	SampleEntryCost sim.Time
+	// RemapBackoff is the first retry delay after an introspection mapping
+	// is invalidated (grant revoked, P2M changed under the monitor);
+	// subsequent retries double it up to RemapBackoffMax. Defaults
+	// 1 ms / 64 ms.
+	RemapBackoff    sim.Time
+	RemapBackoffMax sim.Time
+	// DegradedConfidence is the per-target confidence below which the
+	// monitor reports itself degraded for that VM. Default 0.7.
+	DegradedConfidence float64
 }
 
 func (c Config) withDefaults() Config {
@@ -82,8 +91,23 @@ func (c Config) withDefaults() Config {
 	if c.SampleEntryCost <= 0 {
 		c.SampleEntryCost = 50 * sim.Nanosecond
 	}
+	if c.RemapBackoff <= 0 {
+		c.RemapBackoff = sim.Millisecond
+	}
+	if c.RemapBackoffMax <= 0 {
+		c.RemapBackoffMax = 64 * sim.Millisecond
+	}
+	if c.DegradedConfidence <= 0 {
+		c.DegradedConfidence = 0.7
+	}
 	return c
 }
+
+// confAlpha is the EWMA weight of one sampling pass in the per-target
+// confidence score: a blind pass (invalid mapping, blackout) drags the score
+// below the default DegradedConfidence threshold within ~3 passes, and ~3
+// clean passes pull it back above.
+const confAlpha = 0.15
 
 // Target is one watched VM completion queue.
 type Target struct {
@@ -94,6 +118,16 @@ type Target struct {
 	seen   uint64 // producer count at last sample
 	usage  Usage
 	avgLen float64 // running average completion size, for loss estimation
+
+	// Remap/confidence state. The addresses are kept so an invalidated
+	// mapping can be re-established.
+	ringAddr   guestmem.Addr
+	dbrecAddr  guestmem.Addr
+	invalid    bool     // introspection mapping currently unusable
+	nextRemap  sim.Time // earliest next remap attempt
+	backoff    sim.Time // current retry delay (exponential)
+	remapTries int64    // failed remap attempts since invalidation
+	conf       float64  // EWMA fraction of completions actually read
 }
 
 // Domain returns the watched domain.
@@ -101,6 +135,26 @@ func (t *Target) Domain() xen.DomID { return t.dom }
 
 // Usage returns the cumulative estimates for the target.
 func (t *Target) Usage() Usage { return t.usage }
+
+// Confidence is the target's telemetry quality in [0,1]: an EWMA over
+// sampling passes of the fraction of completions whose CQEs were actually
+// read (as opposed to lost to ring wraps, an invalid mapping, or a telemetry
+// blackout). 1 = every estimate backed by parsed bytes.
+func (t *Target) Confidence() float64 { return t.conf }
+
+// Invalid reports whether the target's introspection mapping is currently
+// unusable (awaiting a remap retry).
+func (t *Target) Invalid() bool { return t.invalid }
+
+// RemapTries returns the failed remap attempts since the last invalidation.
+func (t *Target) RemapTries() int64 { return t.remapTries }
+
+// observePass folds one sampling pass of quality q (fraction of this pass's
+// completions that were read; 1 for an idle pass, 0 for a blind one) into
+// the confidence score.
+func (t *Target) observePass(q float64) {
+	t.conf = (1-confAlpha)*t.conf + confAlpha*q
+}
 
 // QPUsage is what doorbell/send-queue introspection reveals about one QP.
 type QPUsage struct {
@@ -167,13 +221,20 @@ type Monitor struct {
 	marks     map[xen.DomID]profileMark // last Profiles() snapshot per domain
 	proc      *sim.Proc
 	running   bool
+
+	// Fault state.
+	revoked       map[xen.DomID]bool // domains whose mappings stay invalid
+	blackout      bool               // telemetry blackout: no sampling at all
+	blackoutPass  int64              // passes skipped while blacked out
+	invalidations int64              // InvalidateDomain calls
 }
 
 // New creates a monitor on the given hypervisor. If vcpu is non-nil the
 // sampling work is charged to it (it should be a dom0 VCPU).
 func New(hv *xen.Hypervisor, vcpu *xen.VCPU, cfg Config) *Monitor {
 	return &Monitor{hv: hv, cfg: cfg.withDefaults(), vcpu: vcpu,
-		marks: make(map[xen.DomID]profileMark)}
+		marks:   make(map[xen.DomID]profileMark),
+		revoked: make(map[xen.DomID]bool)}
 }
 
 // Watch maps the CQ state of a guest domain for monitoring. The ring and
@@ -192,7 +253,15 @@ func (m *Monitor) Watch(dom xen.DomID, ringAddr guestmem.Addr, depth int, dbrecA
 	if err != nil {
 		return nil, fmt.Errorf("ibmon: mapping doorbell record: %w", err)
 	}
-	t := &Target{dom: dom, ring: ring, dbrec: dbrec, depth: depth}
+	t := &Target{dom: dom, ring: ring, dbrec: dbrec, depth: depth,
+		ringAddr: ringAddr, dbrecAddr: dbrecAddr, conf: 1}
+	if m.revoked[dom] {
+		// Watching a domain whose mappings are currently revoked: start in
+		// the retry path instead of reading stale bytes.
+		t.invalid = true
+		t.backoff = m.cfg.RemapBackoff
+		t.nextRemap = m.hv.Engine().Now() + t.backoff
+	}
 	m.targets = append(m.targets, t)
 	return t, nil
 }
@@ -292,11 +361,126 @@ func (m *Monitor) Stop() {
 	}
 }
 
+// SetBlackout starts or ends a host telemetry blackout: while active, the
+// monitor takes no samples at all (the dom0 sampler is wedged, or the
+// introspection path is gone) and every target's confidence decays toward
+// zero. Usage estimates freeze at their last values — the stale-read hazard
+// consumers must handle.
+func (m *Monitor) SetBlackout(on bool) { m.blackout = on }
+
+// BlackedOut reports whether a telemetry blackout is active.
+func (m *Monitor) BlackedOut() bool { return m.blackout }
+
+// BlackoutPasses returns how many sampling passes a blackout swallowed.
+func (m *Monitor) BlackoutPasses() int64 { return m.blackoutPass }
+
+// Invalidations returns how many times a domain's mappings were invalidated.
+func (m *Monitor) Invalidations() int64 { return m.invalidations }
+
+// InvalidateDomain invalidates every introspection mapping of a domain (the
+// guest's grant was revoked or its P2M changed under the monitor). Sampling
+// the domain stops; each target retries the remap with exponential backoff
+// until RestoreDomain allows it to succeed.
+func (m *Monitor) InvalidateDomain(dom xen.DomID) {
+	m.revoked[dom] = true
+	m.invalidations++
+	now := m.hv.Engine().Now()
+	for _, t := range m.targets {
+		if t.dom != dom || t.invalid {
+			continue
+		}
+		t.invalid = true
+		t.backoff = m.cfg.RemapBackoff
+		t.nextRemap = now + t.backoff
+		t.remapTries = 0
+	}
+}
+
+// RestoreDomain lets remap retries for the domain succeed again. The next
+// scheduled retry per target re-establishes its mappings; the producer delta
+// accumulated while blind is then accounted through the normal loss path.
+func (m *Monitor) RestoreDomain(dom xen.DomID) { delete(m.revoked, dom) }
+
+// ConfidenceOf returns the minimum confidence across the domain's watched
+// CQs (1 when the domain has none): the paper's sampling-accuracy trade-off
+// turned into a live, consumable signal.
+func (m *Monitor) ConfidenceOf(dom xen.DomID) float64 {
+	conf, any := 1.0, false
+	for _, t := range m.targets {
+		if t.dom != dom {
+			continue
+		}
+		if !any || t.conf < conf {
+			conf = t.conf
+		}
+		any = true
+	}
+	return conf
+}
+
+// Health classifies the monitor's own observability.
+type Health int
+
+// Health states, ordered by severity.
+const (
+	// HealthOK: every mapping valid, confidence above the degraded
+	// threshold for all targets.
+	HealthOK Health = iota
+	// HealthDegraded: at least one target is remapping or has confidence
+	// below Config.DegradedConfidence.
+	HealthDegraded
+	// HealthBlackout: a telemetry blackout is active; nothing is sampled.
+	HealthBlackout
+)
+
+// String names the health state.
+func (h Health) String() string {
+	switch h {
+	case HealthOK:
+		return "OK"
+	case HealthDegraded:
+		return "degraded"
+	case HealthBlackout:
+		return "blackout"
+	default:
+		return fmt.Sprintf("health(%d)", int(h))
+	}
+}
+
+// Health reports the monitor's current observability state.
+func (m *Monitor) Health() Health {
+	if m.blackout {
+		return HealthBlackout
+	}
+	for _, t := range m.targets {
+		if t.invalid || t.conf < m.cfg.DegradedConfidence {
+			return HealthDegraded
+		}
+	}
+	return HealthOK
+}
+
 // SampleAll takes one sampling pass over every target, charging dom0 CPU if
 // a VCPU is bound. It may be called manually (p may be nil only when the
 // monitor has no VCPU).
 func (m *Monitor) SampleAll(p *sim.Proc) {
+	if m.blackout {
+		// The sampler is wedged: no reads, no CPU charged, confidence decays.
+		m.blackoutPass++
+		for _, t := range m.targets {
+			t.usage.Samples++
+			t.observePass(0)
+		}
+		return
+	}
+	now := m.hv.Engine().Now()
 	for _, t := range m.targets {
+		if t.invalid {
+			m.retryRemap(p, t, now)
+			t.usage.Samples++
+			t.observePass(0)
+			continue
+		}
 		n := t.sample(m.cfg)
 		if m.vcpu != nil {
 			m.vcpu.Use(p, m.cfg.SampleBaseCost+sim.Time(n)*m.cfg.SampleEntryCost)
@@ -310,12 +494,53 @@ func (m *Monitor) SampleAll(p *sim.Proc) {
 	}
 }
 
+// retryRemap attempts to re-establish an invalidated target's mappings once
+// its backoff window has elapsed. A failed attempt (domain still revoked)
+// doubles the backoff up to RemapBackoffMax.
+func (m *Monitor) retryRemap(p *sim.Proc, t *Target, now sim.Time) {
+	if now < t.nextRemap {
+		return
+	}
+	if m.vcpu != nil {
+		// A remap attempt is a hypercall; it costs dom0 CPU whether or not
+		// it succeeds.
+		m.vcpu.Use(p, m.cfg.SampleBaseCost)
+	}
+	if m.revoked[t.dom] {
+		t.remapTries++
+		t.backoff *= 2
+		if t.backoff > m.cfg.RemapBackoffMax {
+			t.backoff = m.cfg.RemapBackoffMax
+		}
+		t.nextRemap = now + t.backoff
+		return
+	}
+	ring, err := m.hv.MapForeignRange(t.dom, t.ringAddr, uint64(t.depth)*hca.CQESize)
+	if err != nil {
+		// Domain gone (destroyed, migrated away): keep retrying until an
+		// Unwatch drops the target.
+		t.remapTries++
+		t.nextRemap = now + t.backoff
+		return
+	}
+	dbrec, err := m.hv.MapForeignRange(t.dom, t.dbrecAddr, hca.CQDBRecSize)
+	if err != nil {
+		t.remapTries++
+		t.nextRemap = now + t.backoff
+		return
+	}
+	t.ring, t.dbrec = ring, dbrec
+	t.invalid = false
+	t.backoff = m.cfg.RemapBackoff
+}
+
 // sample reads the doorbell record and any new CQEs; it returns the number
 // of entries parsed.
 func (t *Target) sample(cfg Config) int {
 	t.usage.Samples++
 	produced := t.dbrec.ReadU64(0)
 	if produced == t.seen {
+		t.observePass(1)
 		return 0
 	}
 	delta := produced - t.seen
@@ -354,6 +579,7 @@ func (t *Target) sample(cfg Config) int {
 		}
 	}
 	t.seen = produced
+	t.observePass(float64(parsed) / float64(int64(parsed)+lost))
 	return parsed
 }
 
@@ -401,6 +627,9 @@ type Profile struct {
 	BytesPerSec float64
 	// BufferSize is the largest send completion seen since watch start.
 	BufferSize int
+	// Confidence is the minimum telemetry confidence across the domain's
+	// watched CQs at snapshot time (see Monitor.ConfidenceOf).
+	Confidence float64
 }
 
 // profileMark remembers the cumulative counters at the last snapshot.
@@ -456,7 +685,8 @@ func (m *Monitor) profileDomain(dom xen.DomID) Profile {
 	}
 	now := m.hv.Engine().Now()
 	mark := m.marks[dom]
-	p := Profile{Dom: dom, Window: now - mark.at, BufferSize: bufSize}
+	p := Profile{Dom: dom, Window: now - mark.at, BufferSize: bufSize,
+		Confidence: m.ConfidenceOf(dom)}
 	if p.Window > 0 {
 		secs := p.Window.Seconds()
 		p.MTUsPerSec = float64(mtus-mark.mtus) / secs

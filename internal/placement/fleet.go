@@ -5,6 +5,7 @@ import (
 
 	"resex/internal/benchex"
 	"resex/internal/cluster"
+	"resex/internal/faults"
 	"resex/internal/ibmon"
 	"resex/internal/resex"
 	"resex/internal/sim"
@@ -38,6 +39,14 @@ type Config struct {
 	IntfThresholdPct float64
 	// Seed drives the fleet RNG (random strategy, workload shuffling).
 	Seed int64
+	// ConfidenceGate is handed to every host's ResEx manager: when
+	// positive, caps are never tightened on stale IBMon evidence (see
+	// resex.Config.ConfidenceGate). 0 = naive.
+	ConfidenceGate float64
+	// QuarantineBlackouts, when true, marks hosts whose monitor is blacked
+	// out as quarantined in scheduler snapshots: no new VM binds there and
+	// the rebalancer will not pick them as migration targets.
+	QuarantineBlackouts bool
 }
 
 func (c Config) withDefaults() Config {
@@ -107,7 +116,14 @@ type Placement struct {
 	lastIntf   float64 // IntfPercent from the newest epoch summary
 	lastCap    float64 // CPU cap from the newest epoch summary
 	intfEpochs int     // consecutive epochs above the breach threshold
+
+	migFailures int      // consecutive aborted migrations of this placement
+	retryAt     sim.Time // rebalancer will not retry moving it before this
 }
+
+// MigrationFailures counts consecutive aborted migrations of this placement
+// (reset on the next success).
+func (pl *Placement) MigrationFailures() int { return pl.migFailures }
 
 // Records merges the timeline of every server incarnation, in order.
 func (pl *Placement) Records() []benchex.RequestRecord {
@@ -131,6 +147,7 @@ type Fleet struct {
 	cfg        Config
 	rng        *sim.Rand
 	placements []*Placement
+	faults     *faults.Injector // nil = no injection wired
 }
 
 // NewFleet assembles the testbed, one monitor+manager per worker, and the
@@ -158,7 +175,10 @@ func NewFleet(cfg Config) *Fleet {
 		mon := ibmon.New(h.HV, h.Dom0VCPU(), ibmon.Config{MTU: tb.Config().MTU})
 		mon.Start(tb.Eng)
 		mgr := resex.New(tb.Eng, h.HV, mon, h.Dom0VCPU(), cfg.Policy(),
-			resex.Config{IntervalsPerEpoch: cfg.IntervalsPerEpoch})
+			resex.Config{
+				IntervalsPerEpoch: cfg.IntervalsPerEpoch,
+				ConfidenceGate:    cfg.ConfidenceGate,
+			})
 		mgr.Start()
 		idx := n - 1
 		mgr.ObserveEpoch(func(es resex.EpochSummary) { f.onEpoch(idx, es) })
@@ -170,6 +190,37 @@ func NewFleet(cfg Config) *Fleet {
 
 // Config returns the effective fleet configuration.
 func (f *Fleet) Config() Config { return f.cfg }
+
+// WireFaults registers every worker host's links, HCA and monitor with the
+// injector and makes the fleet consult it for migration pre-copy failure
+// windows. Call before arming any schedule that targets the fleet's nodes.
+func (f *Fleet) WireFaults(inj *faults.Injector) {
+	for i, h := range f.Workers {
+		inj.AttachHost(faults.HostPorts{
+			Node: h.Node, Uplink: h.Uplink, Downlink: h.Downlink,
+			HCA: h.HCA, Mon: f.Mons[i],
+		})
+	}
+	f.faults = inj
+}
+
+// HostHealth classifies one worker host (by Workers index) from its
+// monitor's observability: quarantined when blacked out and quarantining is
+// enabled, degraded when the monitor is blind or low-confidence for any
+// target, OK otherwise.
+func (f *Fleet) HostHealth(i int) HostHealth {
+	switch f.Mons[i].Health() {
+	case ibmon.HealthBlackout:
+		if f.cfg.QuarantineBlackouts {
+			return HealthQuarantined
+		}
+		return HealthDegraded
+	case ibmon.HealthDegraded:
+		return HealthDegraded
+	default:
+		return HealthOK
+	}
+}
 
 // Placements returns every placed workload in placement order.
 func (f *Fleet) Placements() []*Placement { return f.placements }
@@ -222,6 +273,7 @@ func (f *Fleet) buildSnapshot(excludeNode int, skip *Placement) []*HostInfo {
 			TotalPCPUs:      f.cfg.PCPUsPerHost - 1, // dom0 owns PCPU 0
 			LinkBytesPerSec: f.cfg.LinkBandwidth,
 			ResoHeadroom:    1,
+			Health:          f.HostHealth(i),
 		}
 		for _, pl := range f.placements {
 			if pl.HostIdx != i || pl == skip {

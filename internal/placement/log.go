@@ -31,10 +31,20 @@ type MigrationRecord struct {
 	FlowBytes int64
 }
 
+// MigrationFailure records a migration that rolled back instead of
+// completing — the VM stayed live on the source host.
+type MigrationFailure struct {
+	VM       string
+	From, To int // node ids
+	At       sim.Time
+	Reason   string
+}
+
 // EventLog collects scheduler decisions and migrations in event order.
 type EventLog struct {
 	Events     []Event
 	Migrations []MigrationRecord
+	Failures   []MigrationFailure
 }
 
 // Add appends an event.
@@ -53,6 +63,13 @@ func (l *EventLog) WriteText(w io.Writer) {
 			fmt.Fprintf(w, "  %-16s node%d->node%d  %v..%v  moved=%dMB flow=%dMB downtime=%v\n",
 				m.VM, m.From, m.To, m.Start, m.End,
 				m.BytesMoved>>20, m.FlowBytes>>20, m.Downtime)
+		}
+	}
+	if len(l.Failures) > 0 {
+		fmt.Fprintf(w, "\nfailed migrations:\n")
+		for _, m := range l.Failures {
+			fmt.Fprintf(w, "  %-16s node%d->node%d  at %v  %s\n",
+				m.VM, m.From, m.To, m.At, m.Reason)
 		}
 	}
 }

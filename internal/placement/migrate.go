@@ -1,6 +1,7 @@
 package placement
 
 import (
+	"errors"
 	"fmt"
 
 	"resex/internal/benchex"
@@ -9,6 +10,12 @@ import (
 	"resex/internal/hca"
 	"resex/internal/sim"
 )
+
+// ErrPreCopyAborted is returned by Fleet.Migrate when the pre-copy round was
+// cut short (fault injection, in this model). The migration rolls back
+// cleanly: the source VM never stopped serving, the half-moved state is
+// discarded and the transfer channel's resources are released.
+var ErrPreCopyAborted = errors.New("placement: migration pre-copy aborted")
 
 // MigrationConfig parameterizes the live-migration cost model.
 type MigrationConfig struct {
@@ -113,10 +120,27 @@ func newMigrationChannel(src, dst *cluster.Host, mc MigrationConfig, totalChunks
 // blocking on send completions (RC acks) event-style. The chunks are real
 // SEND work requests: the fabric segments them into MTUs and arbitrates
 // them against every other flow on the links, so migration visibly steals
-// bandwidth from colocated workloads.
-func (ch *migrationChannel) transfer(p *sim.Proc, n int) error {
+// bandwidth from colocated workloads. abort, when non-nil, is polled at
+// chunk boundaries; returning true fails the transfer with
+// ErrPreCopyAborted after the in-flight window drains.
+func (ch *migrationChannel) transfer(p *sim.Proc, n int, abort func() bool) error {
 	posted, completed, outstanding := 0, 0, 0
 	for completed < n {
+		if abort != nil && abort() {
+			// Stop posting; drain what is already on the wire so the QPs
+			// close without flushing live work requests.
+			for outstanding > 0 {
+				if cqe, ok := ch.scq.Poll(); ok {
+					if cqe.Status != hca.StatusOK {
+						return fmt.Errorf("placement: migration chunk %d: %v", cqe.WRID, cqe.Status)
+					}
+					outstanding--
+					continue
+				}
+				ch.scq.Signal().Wait(p)
+			}
+			return ErrPreCopyAborted
+		}
 		if posted < n && outstanding < ch.window {
 			err := ch.srcQP.PostSend(hca.SendWR{
 				ID: uint64(posted), Op: hca.OpSend,
@@ -182,8 +206,27 @@ func (f *Fleet) Migrate(p *sim.Proc, pl *Placement, to *cluster.Host, mc Migrati
 	}
 	defer ch.close()
 
-	// Phase 1: pre-copy with the VM live.
-	if err := ch.transfer(p, preChunks); err != nil {
+	// Phase 1: pre-copy with the VM live. The fault injector can abort
+	// this phase; the abort is clean by construction because nothing has
+	// been torn down yet — the VM is still serving on the source, so
+	// rollback is just releasing the transfer channel (the deferred close)
+	// and recording the failure.
+	var abort func() bool
+	if f.faults != nil {
+		srcNode := src.Node
+		abort = func() bool { return f.faults.AbortPreCopy(srcNode) }
+	}
+	if err := ch.transfer(p, preChunks, abort); err != nil {
+		if errors.Is(err, ErrPreCopyAborted) {
+			rec.End = f.TB.Eng.Now()
+			f.Log.Failures = append(f.Log.Failures, MigrationFailure{
+				VM: pl.Spec.Name, From: src.Node, To: to.Node,
+				At: rec.End, Reason: "pre-copy aborted",
+			})
+			f.Log.Add(rec.End, "migrate",
+				"%s node%d->node%d: pre-copy aborted, rolled back (VM still on node%d)",
+				pl.Spec.Name, src.Node, to.Node, src.Node)
+		}
 		return rec, err
 	}
 
@@ -194,7 +237,7 @@ func (f *Fleet) Migrate(p *sim.Proc, pl *Placement, to *cluster.Host, mc Migrati
 	oldVM := pl.App.ServerVM
 	f.Mgrs[pl.HostIdx].Unmanage(oldVM.Dom.ID())
 	f.Mons[pl.HostIdx].UnwatchDomain(oldVM.Dom.ID())
-	if err := ch.transfer(p, dirtyChunks); err != nil {
+	if err := ch.transfer(p, dirtyChunks, nil); err != nil {
 		return rec, err
 	}
 	p.Sleep(mc.Downtime)

@@ -69,12 +69,45 @@ func (v VMInfo) EffectiveBuffer() int {
 	return v.Spec.BufferSize
 }
 
+// HostHealth classifies a host for scheduling purposes, derived from its
+// IBMon monitor's observability (see Fleet.HostHealth).
+type HostHealth int
+
+// Health states.
+const (
+	// HealthOK: telemetry fully trusted.
+	HealthOK HostHealth = iota
+	// HealthDegraded: telemetry partially stale (remapping targets or low
+	// confidence); still schedulable, but its profiles may lie.
+	HealthDegraded
+	// HealthQuarantined: telemetry blacked out and quarantining enabled —
+	// no new VM binds here until the host can be observed again.
+	HealthQuarantined
+)
+
+// String names the health state.
+func (h HostHealth) String() string {
+	switch h {
+	case HealthOK:
+		return "OK"
+	case HealthDegraded:
+		return "degraded"
+	case HealthQuarantined:
+		return "quarantined"
+	default:
+		return fmt.Sprintf("health(%d)", int(h))
+	}
+}
+
 // HostInfo is one host's state snapshot, the unit filters and scorers
 // operate on.
 type HostInfo struct {
 	Node       int
 	FreePCPUs  int
 	TotalPCPUs int // guest-assignable PCPUs (excludes dom0's)
+	// Health gates schedulability: quarantined hosts fail the HealthyHost
+	// filter every built-in pipeline carries.
+	Health HostHealth
 	// LinkBytesPerSec is the host uplink capacity.
 	LinkBytesPerSec float64
 	// IOCommitted is the fraction of the uplink the resident VMs' profiled
@@ -179,6 +212,18 @@ func (FitsPCPUs) Name() string { return "fits-pcpus" }
 
 // Filter implements FilterPlugin.
 func (FitsPCPUs) Filter(h *HostInfo, _ Spec) bool { return h.FreePCPUs > 0 }
+
+// HealthyHost filters out quarantined hosts: binding a VM to a host that
+// cannot be observed means ResEx would manage it blind from the first
+// interval. Degraded hosts stay schedulable (their stale profiles just score
+// worse).
+type HealthyHost struct{}
+
+// Name implements FilterPlugin.
+func (HealthyHost) Name() string { return "healthy-host" }
+
+// Filter implements FilterPlugin.
+func (HealthyHost) Filter(h *HostInfo, _ Spec) bool { return h.Health != HealthQuarantined }
 
 // SpreadByCPU scores hosts by free PCPU fraction: the classic
 // least-allocated spreading any CPU-only scheduler does.
@@ -310,7 +355,7 @@ func (RandomStrategy) Name() string { return "random" }
 func (RandomStrategy) Pick(hosts []*HostInfo, s Spec, rng *sim.Rand) (*HostInfo, []HostScore, error) {
 	var feasible []*HostInfo
 	for _, h := range hosts {
-		if (FitsPCPUs{}).Filter(h, s) {
+		if (FitsPCPUs{}).Filter(h, s) && (HealthyHost{}).Filter(h, s) {
 			feasible = append(feasible, h)
 		}
 	}
@@ -320,18 +365,22 @@ func (RandomStrategy) Pick(hosts []*HostInfo, s Spec, rng *sim.Rand) (*HostInfo,
 	return feasible[rng.Intn(len(feasible))], nil, nil
 }
 
-// NewSpreadPipeline is the CPU-only spreading scheduler: capacity filter
-// plus SpreadByCPU.
+// NewSpreadPipeline is the CPU-only spreading scheduler: capacity and
+// health filters plus SpreadByCPU.
 func NewSpreadPipeline() *Pipeline {
-	return NewPipeline().AddFilter(FitsPCPUs{}).AddScorer(SpreadByCPU{}, 1)
+	return NewPipeline().
+		AddFilter(FitsPCPUs{}).
+		AddFilter(HealthyHost{}).
+		AddScorer(SpreadByCPU{}, 1)
 }
 
-// NewInterferencePipeline is the full scheduler: capacity filter, then
-// interference avoidance dominating, with Reso headroom and CPU spreading
-// as tie-breakers.
+// NewInterferencePipeline is the full scheduler: capacity and health
+// filters, then interference avoidance dominating, with Reso headroom and
+// CPU spreading as tie-breakers.
 func NewInterferencePipeline() *Pipeline {
 	return NewPipeline().
 		AddFilter(FitsPCPUs{}).
+		AddFilter(HealthyHost{}).
 		AddScorer(InterferenceAware{}, 1).
 		AddScorer(ResoHeadroom{}, 0.3).
 		AddScorer(SpreadByCPU{}, 0.5)

@@ -1,6 +1,8 @@
 package placement
 
 import (
+	"errors"
+
 	"resex/internal/sim"
 )
 
@@ -24,6 +26,12 @@ type RebalanceConfig struct {
 	MaxMigrations int
 	// Migration is the cost model for the moves.
 	Migration MigrationConfig
+	// RetryBackoff is the pause before re-attempting a placement whose
+	// migration aborted, doubled per consecutive failure up to
+	// MaxRetryBackoff. Zero keeps the naive behavior: the very next pass may
+	// retry immediately, even into the same failure window.
+	RetryBackoff    sim.Time
+	MaxRetryBackoff sim.Time
 }
 
 func (c RebalanceConfig) withDefaults() RebalanceConfig {
@@ -41,6 +49,9 @@ func (c RebalanceConfig) withDefaults() RebalanceConfig {
 	}
 	if c.MaxMigrations <= 0 {
 		c.MaxMigrations = 8
+	}
+	if c.RetryBackoff > 0 && c.MaxRetryBackoff <= 0 {
+		c.MaxRetryBackoff = 8 * c.RetryBackoff
 	}
 	return c
 }
@@ -131,6 +142,7 @@ func (r *Rebalancer) pass(p *sim.Proc) {
 		}
 	}
 
+	now := f.TB.Eng.Now()
 	mover := victim
 	if intf != nil {
 		if intf.lastCap > r.cfg.CapFloorPct && victim.intfEpochs < 2*r.cfg.Patience {
@@ -143,6 +155,11 @@ func (r *Rebalancer) pass(p *sim.Proc) {
 			return
 		}
 		mover = intf
+	}
+	if now < mover.retryAt {
+		// A recent pre-copy abort put this placement in backoff; retrying
+		// immediately would likely hit the same failure window.
+		return
 	}
 
 	// Score every host as if the mover were not placed yet; migrate only to
@@ -164,9 +181,22 @@ func (r *Rebalancer) pass(p *sim.Proc) {
 		victim.Spec.Name, victim.lastIntf, victim.intfEpochs,
 		mover.Spec.Name, src.Node, target.Node)
 	if _, err := f.Migrate(p, mover, f.Workers[f.workerIdx(target.Node)], r.cfg.Migration); err != nil {
+		if errors.Is(err, ErrPreCopyAborted) && r.cfg.RetryBackoff > 0 {
+			mover.migFailures++
+			backoff := r.cfg.RetryBackoff << (mover.migFailures - 1)
+			if backoff > r.cfg.MaxRetryBackoff {
+				backoff = r.cfg.MaxRetryBackoff
+			}
+			mover.retryAt = f.TB.Eng.Now() + backoff
+			f.Log.Add(f.TB.Eng.Now(), "rebalance",
+				"migration of %s aborted (failure %d); retry backoff %v",
+				mover.Spec.Name, mover.migFailures, backoff)
+			return
+		}
 		f.Log.Add(f.TB.Eng.Now(), "rebalance", "migration of %s failed: %v", mover.Spec.Name, err)
 		return
 	}
+	mover.migFailures, mover.retryAt = 0, 0
 	// Give the fabric a fresh observation window before judging again.
 	victim.intfEpochs = 0
 }

@@ -166,6 +166,21 @@ func RenderSVG(res experiments.Result) (string, error) {
 			"SLA attainment (%) / bulk egress (10 MB/s)", groups,
 			[]string{"SLA %", "bulk 10MB/s"}, vals), nil
 
+	case *experiments.AblFaultsResult:
+		byStack := map[string]*stats.Series{}
+		var order []*stats.Series
+		for _, row := range r.Rows {
+			s := byStack[row.Stack]
+			if s == nil {
+				s = stats.NewSeries(row.Stack)
+				byStack[row.Stack] = s
+				order = append(order, s)
+			}
+			s.Add(row.StormsPerSec, row.SLAPct)
+		}
+		return LineChart("Ablation: fault intensity vs SLA attainment",
+			"fault storms/s", "SLA attainment (%)", order), nil
+
 	case *experiments.SoftRTResult:
 		groups := make([]string, 0, len(r.Rows))
 		vals := make([][]float64, 0, len(r.Rows))

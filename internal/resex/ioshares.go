@@ -96,6 +96,14 @@ func (io *IOShares) Interval(m *Manager, d *IntervalData) {
 			continue
 		}
 		vm.interfered = true
+		if !m.AllowTighten(intf.VM) {
+			// The victim's elevation is real (agents report latency
+			// directly), but the attribution rests on IBMon counts that are
+			// currently stale: hold the blamed VM's rate and cap until the
+			// evidence recovers instead of compounding a charge we cannot
+			// verify.
+			continue
+		}
 		ioShare := intf.VM.mtuEwma / totalRate
 		rPrime := ioShare * intfPct
 		if rPrime <= 0 {

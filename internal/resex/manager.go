@@ -58,6 +58,17 @@ type Config struct {
 	// per monitored VM.
 	TickCost  sim.Time
 	PerVMCost sim.Time
+	// ConfidenceGate, when positive, enables degraded-mode cap holding: a
+	// VM's cap is never *tightened* while the host monitor is blacked out
+	// or the VM's IBMon confidence is below the gate — the last-known cap
+	// holds until the evidence recovers (no punishing a VM on stale
+	// telemetry). 0 (the default) disables the gate: caps apply
+	// unconditionally, as the paper's original policies do.
+	ConfidenceGate float64
+	// StaleConfidence is the confidence below which evidence counts as
+	// stale for the wrongful-throttle accounting (tracked whether or not
+	// the gate is enabled). Default 0.7.
+	StaleConfidence float64
 }
 
 func (c Config) withDefaults() Config {
@@ -87,6 +98,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.PerVMCost == 0 {
 		c.PerVMCost = sim.Microsecond
+	}
+	if c.StaleConfidence <= 0 {
+		c.StaleConfidence = 0.7
 	}
 	return c
 }
@@ -121,6 +135,7 @@ type ManagedVM struct {
 	cleanRuns  int     // consecutive intervals without interference
 	interfered bool    // last interval judged interfered
 	intervals  int64   // intervals since this VM came under management
+	confidence float64 // min IBMon confidence across targets, updated per tick
 
 	// Epoch accumulators backing the exported EpochSummary.
 	epMTUs       int64
@@ -151,12 +166,19 @@ func (v *ManagedVM) Interfered() bool { return v.interfered }
 // MTURate returns the smoothed MTUs-per-interval estimate.
 func (v *ManagedVM) MTURate() float64 { return v.mtuEwma }
 
+// Confidence returns the minimum IBMon confidence across the VM's watched
+// CQs as of the last charging interval (1 until the first tick).
+func (v *ManagedVM) Confidence() float64 { return v.confidence }
+
 // VMTick is one VM's usage during one interval, as the policy sees it.
 type VMTick struct {
 	VM      *ManagedVM
 	MTUs    int64   // MTUs sent this interval (IBMon estimate)
 	CPUPct  float64 // CPU percent consumed this interval (XenStat)
 	Latency LatencyWindow
+	// Confidence is the IBMon telemetry confidence behind MTUs (see
+	// ManagedVM.Confidence); 0 during a host telemetry blackout.
+	Confidence float64
 }
 
 // IntervalData is the per-interval input to a policy.
@@ -206,6 +228,60 @@ type Manager struct {
 	proc     *sim.Proc
 	running  bool
 	interval int64
+
+	// Degraded-mode accounting (see Config.ConfidenceGate).
+	tightenings       int64
+	heldTightenings   int64
+	wrongfulThrottles int64
+}
+
+// FaultStats counts the manager's cap decisions under degraded telemetry.
+type FaultStats struct {
+	// Tightenings is every applied cap decrease.
+	Tightenings int64
+	// HeldTightenings counts decreases the confidence gate refused while
+	// evidence was stale (the last-known cap held instead).
+	HeldTightenings int64
+	// WrongfulThrottles counts decreases that *were* applied while the
+	// evidence behind them was stale — what a naive stack inflicts during
+	// blackouts, and what the gate exists to drive to zero.
+	WrongfulThrottles int64
+}
+
+// FaultStats returns the degraded-mode decision counters.
+func (m *Manager) FaultStats() FaultStats {
+	return FaultStats{
+		Tightenings:       m.tightenings,
+		HeldTightenings:   m.heldTightenings,
+		WrongfulThrottles: m.wrongfulThrottles,
+	}
+}
+
+// TelemetryStale reports whether the throttling evidence for the VM is
+// currently stale: the host monitor is blacked out, or the VM's IBMon
+// confidence is below Config.StaleConfidence.
+func (m *Manager) TelemetryStale(vm *ManagedVM) bool {
+	if m.mon != nil && m.mon.BlackedOut() {
+		return true
+	}
+	return vm.confidence < m.cfg.StaleConfidence
+}
+
+// AllowTighten reports whether the active configuration permits tightening
+// the VM's cap right now. With the confidence gate enabled it refuses — and
+// records a held tightening — while the host monitor is blacked out or the
+// VM's confidence sits below the gate; policies consult it *before* raising
+// charging rates so congestion state does not silently accumulate against a
+// VM the gate is protecting.
+func (m *Manager) AllowTighten(vm *ManagedVM) bool {
+	if m.cfg.ConfidenceGate <= 0 {
+		return true
+	}
+	if (m.mon != nil && m.mon.BlackedOut()) || vm.confidence < m.cfg.ConfidenceGate {
+		m.heldTightenings++
+		return false
+	}
+	return true
 }
 
 // New creates a manager for one host. mon must be watching (or be able to
@@ -274,12 +350,13 @@ func (m *Manager) ManageCQs(dom *xen.Domain, cqs []*hca.CQ, slaLatencyUs float64
 		targets = append(targets, tgt)
 	}
 	vm := &ManagedVM{
-		Dom:     dom,
-		targets: targets,
-		rate:    1,
-		cap:     100,
-		share:   1,
-		sla:     slaLatencyUs,
+		Dom:        dom,
+		targets:    targets,
+		rate:       1,
+		cap:        100,
+		share:      1,
+		sla:        slaLatencyUs,
+		confidence: 1,
 	}
 	vm.Account = resos.NewAccount(dom.Name(), 0)
 	m.vms = append(m.vms, vm)
@@ -402,6 +479,12 @@ func (m *Manager) tick() {
 		mtus := sent - vm.lastMTUs
 		vm.lastMTUs = sent
 		vm.mtuEwma = 0.9*vm.mtuEwma + 0.1*float64(mtus)
+		vm.confidence = 1
+		for _, tgt := range vm.targets {
+			if c := tgt.Confidence(); c < vm.confidence {
+				vm.confidence = c
+			}
+		}
 		cpu := vm.Dom.CPUTime()
 		pct := 100 * float64(cpu-vm.lastCPU) / float64(m.cfg.Interval)
 		vm.lastCPU = cpu
@@ -414,7 +497,8 @@ func (m *Manager) tick() {
 		}
 		vm.reports.Reset()
 		vm.reportStd = 0
-		d.VMs = append(d.VMs, VMTick{VM: vm, MTUs: mtus, CPUPct: pct, Latency: lw})
+		d.VMs = append(d.VMs, VMTick{VM: vm, MTUs: mtus, CPUPct: pct, Latency: lw,
+			Confidence: vm.confidence})
 
 		// Learn the base latency as the quietest sustained report level.
 		if lw.Count > 0 && vm.sla == 0 {
@@ -473,7 +557,11 @@ func (m *Manager) EpochFraction() float64 {
 }
 
 // ApplyCap pushes a managed VM's desired cap to the hypervisor, flooring at
-// MinCap and treating ≥100 as "uncapped".
+// MinCap and treating ≥100 as "uncapped". Cap *decreases* pass through the
+// confidence gate: with Config.ConfidenceGate enabled and the VM's telemetry
+// stale, the last-known cap holds (loosening is always allowed — releasing a
+// VM never needs evidence). Applied decreases made on stale evidence are
+// counted as wrongful throttles either way.
 func (m *Manager) ApplyCap(vm *ManagedVM, cap float64) {
 	if cap < float64(m.cfg.MinCap) {
 		cap = float64(m.cfg.MinCap)
@@ -485,6 +573,17 @@ func (m *Manager) ApplyCap(vm *ManagedVM, cap float64) {
 			vm.capForced = false
 		}
 		return
+	}
+	if cap < vm.cap {
+		stale := m.TelemetryStale(vm)
+		if m.cfg.ConfidenceGate > 0 && stale {
+			m.heldTightenings++
+			return // hold the last-known cap
+		}
+		m.tightenings++
+		if stale {
+			m.wrongfulThrottles++
+		}
 	}
 	vm.cap = cap
 	vm.Dom.SetCap(int(cap + 0.5))
