@@ -433,6 +433,8 @@ func BenchmarkConsolidationCapacity(b *testing.B) {
 // ---------------------------------------------------------------------------
 
 // BenchmarkEngineEvents measures raw event throughput of the DES core.
+// Steady state must be allocation-free: events come from the engine's pool
+// and Timer handles are values.
 func BenchmarkEngineEvents(b *testing.B) {
 	eng := sim.New()
 	var tick func()
@@ -443,6 +445,7 @@ func BenchmarkEngineEvents(b *testing.B) {
 			eng.After(100, tick)
 		}
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	eng.After(100, tick)
 	eng.Run()

@@ -15,6 +15,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strconv"
 	"strings"
 	"time"
@@ -81,7 +82,23 @@ func main() {
 		fmt.Fprintln(os.Stderr, "benchex:", err)
 		os.Exit(1)
 	}
+	// Sample the allocator around the run so every invocation doubles as a
+	// zero-alloc regression probe for the event core. Stderr only: stdout
+	// must stay byte-identical across runs of the same seed.
+	runtime.GC()
+	var m0, m1 runtime.MemStats
+	runtime.ReadMemStats(&m0)
+	wallStart := time.Now()
 	s.RunMeasured(experiments.Options{Duration: sim.Time(duration.Nanoseconds())})
+	wall := time.Since(wallStart)
+	runtime.ReadMemStats(&m1)
+	if events := s.TB.Eng.Steps(); events > 0 {
+		fmt.Fprintf(os.Stderr, "sim core: %d events, %.1f ns/event wall, %.3f allocs/event, %.1f B/event\n",
+			events,
+			float64(wall.Nanoseconds())/float64(events),
+			float64(m1.Mallocs-m0.Mallocs)/float64(events),
+			float64(m1.TotalAlloc-m0.TotalAlloc)/float64(events))
+	}
 
 	st := s.RepStats()
 	cs := s.Reporters[0].Client.Stats()

@@ -1,0 +1,87 @@
+// Command benchgate enforces the event-core performance contract recorded in
+// BENCH_core.json (written by BenchmarkEngineCore). It fails when:
+//
+//   - the file is missing or unreadable — the bench smoke job must have run;
+//   - the current engine allocates on the steady-state event path
+//     (allocs_per_event > 0, with a tiny epsilon for runtime background
+//     noise caught between the MemStats samples);
+//   - the speedup over the in-process container/heap baseline drops below
+//     the floor — the acceptance target (2x) minus a 10% regression budget.
+//
+// The gate compares two engines measured in the same process on the same
+// machine, so it is immune to CI runner speed differences; a committed
+// BENCH_core.json from any machine documents the same ratio CI re-derives.
+//
+// Usage:
+//
+//	go test -run '^$' -bench '^BenchmarkEngineCore$' -benchtime=1x .
+//	go run ./cmd/benchgate [-file BENCH_core.json]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+)
+
+// minSpeedup is the acceptance floor: the 2x throughput target with a 10%
+// regression budget.
+const minSpeedup = 1.8
+
+// maxAllocsPerEvent tolerates runtime-internal allocations (GC bookkeeping,
+// timer goroutines) that can land between the MemStats samples; the event
+// path itself contributes ~1 alloc/event when it regresses, far above this.
+const maxAllocsPerEvent = 0.001
+
+type side struct {
+	Engine         string  `json:"engine"`
+	NsPerEvent     float64 `json:"ns_per_event"`
+	EventsPerSec   float64 `json:"events_per_sec"`
+	AllocsPerEvent float64 `json:"allocs_per_event"`
+}
+
+type report struct {
+	Benchmark string  `json:"benchmark"`
+	Events    int     `json:"events"`
+	Baseline  side    `json:"baseline"`
+	Current   side    `json:"current"`
+	Speedup   float64 `json:"speedup"`
+}
+
+func main() {
+	file := flag.String("file", "BENCH_core.json", "bench report to check")
+	flag.Parse()
+
+	data, err := os.ReadFile(*file)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchgate: %v\nrun: go test -run '^$' -bench '^BenchmarkEngineCore$' -benchtime=1x .\n", err)
+		os.Exit(1)
+	}
+	var r report
+	if err := json.Unmarshal(data, &r); err != nil {
+		fmt.Fprintf(os.Stderr, "benchgate: %s: %v\n", *file, err)
+		os.Exit(1)
+	}
+	if r.Events <= 0 || r.Current.NsPerEvent <= 0 || r.Baseline.NsPerEvent <= 0 {
+		fmt.Fprintf(os.Stderr, "benchgate: %s: incomplete report\n", *file)
+		os.Exit(1)
+	}
+
+	fail := false
+	if r.Current.AllocsPerEvent > maxAllocsPerEvent {
+		fmt.Fprintf(os.Stderr, "benchgate: FAIL: %.4f allocs/event on the steady-state path, want 0\n",
+			r.Current.AllocsPerEvent)
+		fail = true
+	}
+	if r.Speedup < minSpeedup {
+		fmt.Fprintf(os.Stderr, "benchgate: FAIL: %.2fx over %s, floor is %.1fx (2x target - 10%% budget)\n",
+			r.Speedup, r.Baseline.Engine, minSpeedup)
+		fail = true
+	}
+	if fail {
+		os.Exit(1)
+	}
+	fmt.Printf("benchgate: ok: %.1f Mevents/s, %.2fx over %s, %.4f allocs/event\n",
+		r.Current.EventsPerSec/1e6, r.Speedup, r.Baseline.Engine, r.Current.AllocsPerEvent)
+}

@@ -18,6 +18,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
 	"strings"
 	"time"
 
@@ -37,6 +38,7 @@ func main() {
 		duration = flag.Duration("duration", 2*time.Second, "measured virtual time per run")
 		warmup   = flag.Duration("warmup", 100*time.Millisecond, "virtual warmup before measuring")
 		seed     = flag.Int64("seed", 0, "workload seed offset (same seed = byte-identical output)")
+		parallel = flag.Int("parallel", runtime.GOMAXPROCS(0), "worker pool size for a figure's independent sweep points (output is byte-identical at any value)")
 	)
 	flag.Parse()
 
@@ -77,6 +79,7 @@ func main() {
 		Duration: sim.Time(duration.Nanoseconds()),
 		Warmup:   sim.Time(warmup.Nanoseconds()),
 		Seed:     *seed,
+		Parallel: *parallel,
 	}
 	var index []report.IndexEntry
 	for _, id := range ids {

@@ -55,25 +55,32 @@ func (r *AblArbResult) WriteCSV(w io.Writer) error {
 // VL-style round-robin arbitration rather than from ResEx.
 func AblArb(o Options) (*AblArbResult, error) {
 	o = o.WithDefaults()
-	res := &AblArbResult{}
+	var points []SweepPoint[AblArbRow]
 	for _, disc := range []fabric.Discipline{fabric.RoundRobin, fabric.FIFO} {
-		s, err := Build(ScenarioConfig{IntfBuffer: IntfBuffer, Discipline: disc, Timeline: true, Seed: o.Seed})
-		if err != nil {
-			return nil, err
-		}
-		s.RunMeasured(o)
-		st := s.RepStats()
-		sample := stats.NewSample(int(st.Served))
-		for _, rec := range st.Timeline {
-			sample.Add(rec.Total().Microseconds())
-		}
-		res.Rows = append(res.Rows, AblArbRow{
-			Discipline: disc.String(),
-			Mean:       st.Total.Mean(),
-			P99:        sample.Quantile(0.99),
-		})
+		disc := disc
+		points = append(points, Point(disc.String(), func(o Options) (AblArbRow, error) {
+			s, err := Build(ScenarioConfig{IntfBuffer: IntfBuffer, Discipline: disc, Timeline: true, Seed: o.Seed})
+			if err != nil {
+				return AblArbRow{}, err
+			}
+			s.RunMeasured(o)
+			st := s.RepStats()
+			sample := stats.NewSample(int(st.Served))
+			for _, rec := range st.Timeline {
+				sample.Add(rec.Total().Microseconds())
+			}
+			return AblArbRow{
+				Discipline: disc.String(),
+				Mean:       st.Total.Mean(),
+				P99:        sample.Quantile(0.99),
+			}, nil
+		}))
 	}
-	return res, nil
+	rows, err := RunSweep(o, points)
+	if err != nil {
+		return nil, err
+	}
+	return &AblArbResult{Rows: rows}, nil
 }
 
 // ---------------------------------------------------------------------------
@@ -119,33 +126,32 @@ func (r *AblMechResult) WriteCSV(w io.Writer) error {
 // and NIC-limited to 30 MB/s.
 func AblMech(o Options) (*AblMechResult, error) {
 	o = o.WithDefaults()
-	res := &AblMechResult{}
-	run := func(name string, prep func(*Scenario)) error {
-		s, err := Build(ScenarioConfig{IntfBuffer: IntfBuffer, Seed: o.Seed})
-		if err != nil {
-			return err
-		}
-		prep(s)
-		s.RunMeasured(o)
-		bytes := float64(s.Intf.Server.Stats().Served) * float64(IntfBuffer)
-		res.Rows = append(res.Rows, AblMechRow{
-			Mechanism:  name,
-			VictimMean: s.RepStats().Total.Mean(),
-			IntfCPU:    s.Intf.ServerVM.Dom.CPUTime().Seconds(),
-			IntfMBs:    bytes / o.Duration.Seconds() / 1e6,
+	mk := func(name string, prep func(*Scenario)) SweepPoint[AblMechRow] {
+		return Point(name, func(o Options) (AblMechRow, error) {
+			s, err := Build(ScenarioConfig{IntfBuffer: IntfBuffer, Seed: o.Seed})
+			if err != nil {
+				return AblMechRow{}, err
+			}
+			prep(s)
+			s.RunMeasured(o)
+			bytes := float64(s.Intf.Server.Stats().Served) * float64(IntfBuffer)
+			return AblMechRow{
+				Mechanism:  name,
+				VictimMean: s.RepStats().Total.Mean(),
+				IntfCPU:    s.Intf.ServerVM.Dom.CPUTime().Seconds(),
+				IntfMBs:    bytes / o.Duration.Seconds() / 1e6,
+			}, nil
 		})
-		return nil
 	}
-	if err := run("none", func(*Scenario) {}); err != nil {
+	rows, err := RunSweep(o, []SweepPoint[AblMechRow]{
+		mk("none", func(*Scenario) {}),
+		mk("cpu-cap-3", func(s *Scenario) { s.Intf.ServerVM.Dom.SetCap(3) }),
+		mk("nic-30MBps", func(s *Scenario) { s.Intf.ServerQP.SetRateLimit(30e6) }),
+	})
+	if err != nil {
 		return nil, err
 	}
-	if err := run("cpu-cap-3", func(s *Scenario) { s.Intf.ServerVM.Dom.SetCap(3) }); err != nil {
-		return nil, err
-	}
-	if err := run("nic-30MBps", func(s *Scenario) { s.Intf.ServerQP.SetRateLimit(30e6) }); err != nil {
-		return nil, err
-	}
-	return res, nil
+	return &AblMechResult{Rows: rows}, nil
 }
 
 // ---------------------------------------------------------------------------
@@ -194,35 +200,44 @@ func (r *AblEventsResult) WriteCSV(w io.Writer) error {
 // pipelined 64KB server.
 func AblEvents(o Options) (*AblEventsResult, error) {
 	o = o.WithDefaults()
-	res := &AblEventsResult{}
+	var points []SweepPoint[AblEventsRow]
 	for _, mode := range []bool{false, true} {
 		for _, cap := range []int{0, 25, 10} {
-			tb := cluster.New(cluster.Config{})
-			hostA, hostB := tb.AddHost(1), tb.AddHost(2)
-			app, err := tb.NewApp("app", hostA, hostB,
-				benchex.ServerConfig{BufferSize: 64 << 10, EventDriven: mode},
-				benchex.ClientConfig{BufferSize: 64 << 10, Window: 4, Seed: o.Seed + 1})
-			if err != nil {
-				return nil, err
-			}
-			if cap > 0 {
-				app.ServerVM.Dom.SetCap(cap)
-			}
-			app.Start()
-			tb.Eng.RunUntil(o.Duration)
-			st := app.Server.Stats()
+			mode, cap := mode, cap
 			name := "polling"
 			if mode {
 				name = "events"
 			}
-			res.Rows = append(res.Rows, AblEventsRow{
-				Mode: name, Cap: cap, Mean: st.Total.Mean(),
-				ReqPerS: float64(st.Served) / o.Duration.Seconds(),
-			})
-			tb.Eng.Shutdown()
+			points = append(points, Point(fmt.Sprintf("%s cap=%d", name, cap),
+				func(o Options) (AblEventsRow, error) {
+					tb := cluster.New(cluster.Config{})
+					hostA, hostB := tb.AddHost(1), tb.AddHost(2)
+					app, err := tb.NewApp("app", hostA, hostB,
+						benchex.ServerConfig{BufferSize: 64 << 10, EventDriven: mode},
+						benchex.ClientConfig{BufferSize: 64 << 10, Window: 4, Seed: o.Seed + 1})
+					if err != nil {
+						return AblEventsRow{}, err
+					}
+					if cap > 0 {
+						app.ServerVM.Dom.SetCap(cap)
+					}
+					app.Start()
+					tb.Eng.RunUntil(o.Duration)
+					st := app.Server.Stats()
+					row := AblEventsRow{
+						Mode: name, Cap: cap, Mean: st.Total.Mean(),
+						ReqPerS: float64(st.Served) / o.Duration.Seconds(),
+					}
+					tb.Eng.Shutdown()
+					return row, nil
+				}))
 		}
 	}
-	return res, nil
+	rows, err := RunSweep(o, points)
+	if err != nil {
+		return nil, err
+	}
+	return &AblEventsResult{Rows: rows}, nil
 }
 
 // ---------------------------------------------------------------------------
@@ -270,20 +285,29 @@ func (r *AblCapacityResult) WriteCSV(w io.Writer) error {
 // worst per-app mean latency at each density.
 func AblCapacity(o Options) (*AblCapacityResult, error) {
 	o = o.WithDefaults()
-	res := &AblCapacityResult{SLA: 233.5 * 1.25}
+	const sla = 233.5 * 1.25
+	var points []SweepPoint[AblCapacityRow]
 	for n := 1; n <= 6; n++ {
-		s, err := Build(ScenarioConfig{Reporters: n, Seed: o.Seed})
-		if err != nil {
-			return nil, err
-		}
-		s.RunMeasured(o)
-		worst := 0.0
-		for _, app := range s.Reporters {
-			if m := app.Server.Stats().Total.Mean(); m > worst {
-				worst = m
-			}
-		}
-		res.Rows = append(res.Rows, AblCapacityRow{Apps: n, WorstMean: worst, WithinSLA: worst <= res.SLA})
+		n := n
+		points = append(points, Point(fmt.Sprintf("apps=%d", n),
+			func(o Options) (AblCapacityRow, error) {
+				s, err := Build(ScenarioConfig{Reporters: n, Seed: o.Seed})
+				if err != nil {
+					return AblCapacityRow{}, err
+				}
+				s.RunMeasured(o)
+				worst := 0.0
+				for _, app := range s.Reporters {
+					if m := app.Server.Stats().Total.Mean(); m > worst {
+						worst = m
+					}
+				}
+				return AblCapacityRow{Apps: n, WorstMean: worst, WithinSLA: worst <= sla}, nil
+			}))
 	}
-	return res, nil
+	rows, err := RunSweep(o, points)
+	if err != nil {
+		return nil, err
+	}
+	return &AblCapacityResult{SLA: sla, Rows: rows}, nil
 }

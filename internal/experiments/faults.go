@@ -225,15 +225,23 @@ func runFaultsRow(o Options, stormsPerSec float64, aware bool) (AblFaultsRow, er
 // AblFaults runs the intensity × stack sweep.
 func AblFaults(o Options) (*AblFaultsResult, error) {
 	o = o.WithDefaults()
-	res := &AblFaultsResult{SLA: faultsSLAUs}
+	var points []SweepPoint[AblFaultsRow]
 	for _, storms := range []float64{0, 4, 12, 24} {
 		for _, aware := range []bool{false, true} {
-			row, err := runFaultsRow(o, storms, aware)
-			if err != nil {
-				return nil, err
+			storms, aware := storms, aware
+			stack := "naive"
+			if aware {
+				stack = "aware"
 			}
-			res.Rows = append(res.Rows, row)
+			points = append(points, Point(fmt.Sprintf("%g/s %s", storms, stack),
+				func(o Options) (AblFaultsRow, error) {
+					return runFaultsRow(o, storms, aware)
+				}))
 		}
 	}
-	return res, nil
+	rows, err := RunSweep(o, points)
+	if err != nil {
+		return nil, err
+	}
+	return &AblFaultsResult{SLA: faultsSLAUs, Rows: rows}, nil
 }

@@ -45,37 +45,54 @@ func (r *Fig1Result) WriteCSV(w io.Writer) error {
 	return nil
 }
 
+// fig1Side is one half of Figure 1: the latency distribution of the
+// reporting server with or without the interferer.
+type fig1Side struct {
+	Hist      *stats.Histogram
+	Mean, Std float64
+}
+
 // Fig1 runs the motivation experiment: one 64KB server measured with and
 // without a 2MB interference generator; no ResEx.
 func Fig1(o Options) (*Fig1Result, error) {
 	o = o.WithDefaults()
-	res := &Fig1Result{
-		Normal:     stats.NewHistogram(100, 500, 80),
-		Interfered: stats.NewHistogram(100, 500, 80),
-	}
+	var points []SweepPoint[fig1Side]
 	for _, interfered := range []bool{false, true} {
-		cfg := ScenarioConfig{Timeline: true, Seed: o.Seed}
+		interfered := interfered
+		label := "normal"
 		if interfered {
-			cfg.IntfBuffer = IntfBuffer
+			label = "interfered"
 		}
-		s, err := Build(cfg)
-		if err != nil {
-			return nil, err
-		}
-		s.RunMeasured(o)
-		st := s.RepStats()
-		h := res.Normal
-		if interfered {
-			h = res.Interfered
-			res.InterferedMean, res.InterferedStd = st.Total.Mean(), st.Total.StdDev()
-		} else {
-			res.NormalMean, res.NormalStd = st.Total.Mean(), st.Total.StdDev()
-		}
-		for _, rec := range st.Timeline {
-			h.Add(rec.Total().Microseconds())
-		}
+		points = append(points, Point(label, func(o Options) (fig1Side, error) {
+			cfg := ScenarioConfig{Timeline: true, Seed: o.Seed}
+			if interfered {
+				cfg.IntfBuffer = IntfBuffer
+			}
+			s, err := Build(cfg)
+			if err != nil {
+				return fig1Side{}, err
+			}
+			s.RunMeasured(o)
+			st := s.RepStats()
+			side := fig1Side{
+				Hist: stats.NewHistogram(100, 500, 80),
+				Mean: st.Total.Mean(),
+				Std:  st.Total.StdDev(),
+			}
+			for _, rec := range st.Timeline {
+				side.Hist.Add(rec.Total().Microseconds())
+			}
+			return side, nil
+		}))
 	}
-	return res, nil
+	sides, err := RunSweep(o, points)
+	if err != nil {
+		return nil, err
+	}
+	return &Fig1Result{
+		Normal: sides[0].Hist, NormalMean: sides[0].Mean, NormalStd: sides[0].Std,
+		Interfered: sides[1].Hist, InterferedMean: sides[1].Mean, InterferedStd: sides[1].Std,
+	}, nil
 }
 
 // ---------------------------------------------------------------------------
@@ -130,35 +147,43 @@ func (r *Fig2Result) WriteCSV(w io.Writer) error {
 // with and without an added interference generator.
 func Fig2(o Options) (*Fig2Result, error) {
 	o = o.WithDefaults()
-	res := &Fig2Result{}
+	var points []SweepPoint[Fig2Row]
 	for _, n := range []int{1, 2, 3} {
 		for _, loaded := range []bool{false, true} {
-			cfg := ScenarioConfig{Reporters: n, Seed: o.Seed}
-			if loaded {
-				cfg.IntfBuffer = IntfBuffer
-			}
-			s, err := Build(cfg)
-			if err != nil {
-				return nil, err
-			}
-			s.RunMeasured(o)
-			// Aggregate across the n reporting servers.
-			var c, wt, p stats.Summary
-			for _, app := range s.Reporters {
-				st := app.Server.Stats()
-				c.Merge(&st.C)
-				wt.Merge(&st.W)
-				p.Merge(&st.P)
-			}
-			res.Rows = append(res.Rows, Fig2Row{
-				Servers: n, Loaded: loaded,
-				CTime: c.Mean(), CStd: c.StdDev(),
-				WTime: wt.Mean(), WStd: wt.StdDev(),
-				PTime: p.Mean(), PStd: p.StdDev(),
-			})
+			n, loaded := n, loaded
+			points = append(points, Point(fmt.Sprintf("n=%d loaded=%v", n, loaded),
+				func(o Options) (Fig2Row, error) {
+					cfg := ScenarioConfig{Reporters: n, Seed: o.Seed}
+					if loaded {
+						cfg.IntfBuffer = IntfBuffer
+					}
+					s, err := Build(cfg)
+					if err != nil {
+						return Fig2Row{}, err
+					}
+					s.RunMeasured(o)
+					// Aggregate across the n reporting servers.
+					var c, wt, p stats.Summary
+					for _, app := range s.Reporters {
+						st := app.Server.Stats()
+						c.Merge(&st.C)
+						wt.Merge(&st.W)
+						p.Merge(&st.P)
+					}
+					return Fig2Row{
+						Servers: n, Loaded: loaded,
+						CTime: c.Mean(), CStd: c.StdDev(),
+						WTime: wt.Mean(), WStd: wt.StdDev(),
+						PTime: p.Mean(), PStd: p.StdDev(),
+					}, nil
+				}))
 		}
 	}
-	return res, nil
+	rows, err := RunSweep(o, points)
+	if err != nil {
+		return nil, err
+	}
+	return &Fig2Result{Rows: rows}, nil
 }
 
 // ---------------------------------------------------------------------------
@@ -208,26 +233,33 @@ func (r *Fig3Result) WriteCSV(w io.Writer) error {
 // capping it at 100/BufferRatio (the relationship §V-B establishes).
 func Fig3(o Options) (*Fig3Result, error) {
 	o = o.WithDefaults()
-	res := &Fig3Result{}
+	var points []SweepPoint[Fig3Row]
 	for _, buf := range []int{2 << 20, 1 << 20, 512 << 10, 256 << 10, 128 << 10, 64 << 10} {
+		buf := buf
 		ratio := buf / BaseBuffer
 		cap := 100 / ratio
-		cfg := ScenarioConfig{IntfBuffer: buf, Seed: o.Seed}
-		if cap < 100 {
-			cfg.IntfCap = cap
-		}
-		s, err := Build(cfg)
-		if err != nil {
-			return nil, err
-		}
-		s.RunMeasured(o)
-		st := s.RepStats()
-		res.Rows = append(res.Rows, Fig3Row{
-			BufferRatio: ratio, IntfBuffer: buf, Cap: cap,
-			CTime: st.C.Mean(), WTime: st.W.Mean(), PTime: st.P.Mean(),
-		})
+		points = append(points, Point(byteSize(buf), func(o Options) (Fig3Row, error) {
+			cfg := ScenarioConfig{IntfBuffer: buf, Seed: o.Seed}
+			if cap < 100 {
+				cfg.IntfCap = cap
+			}
+			s, err := Build(cfg)
+			if err != nil {
+				return Fig3Row{}, err
+			}
+			s.RunMeasured(o)
+			st := s.RepStats()
+			return Fig3Row{
+				BufferRatio: ratio, IntfBuffer: buf, Cap: cap,
+				CTime: st.C.Mean(), WTime: st.W.Mean(), PTime: st.P.Mean(),
+			}, nil
+		}))
 	}
-	return res, nil
+	rows, err := RunSweep(o, points)
+	if err != nil {
+		return nil, err
+	}
+	return &Fig3Result{Rows: rows}, nil
 }
 
 // ---------------------------------------------------------------------------
@@ -278,30 +310,31 @@ func (r *Fig4Result) WriteCSV(w io.Writer) error {
 // (no interferer) reference.
 func Fig4(o Options) (*Fig4Result, error) {
 	o = o.WithDefaults()
-	res := &Fig4Result{}
-	caps := []int{100, 90, 80, 70, 60, 50, 40, 30, 20, 10, 3}
-	for _, c := range caps {
-		cfg := ScenarioConfig{IntfBuffer: IntfBuffer, Seed: o.Seed}
-		if c < 100 {
-			cfg.IntfCap = c
-		}
-		s, err := Build(cfg)
-		if err != nil {
-			return nil, err
-		}
-		s.RunMeasured(o)
-		st := s.RepStats()
-		res.Rows = append(res.Rows, Fig4Row{Cap: c, CTime: st.C.Mean(), WTime: st.W.Mean(), PTime: st.P.Mean()})
+	var points []SweepPoint[Fig4Row]
+	for _, c := range []int{100, 90, 80, 70, 60, 50, 40, 30, 20, 10, 3, 0} { // 0 = Base
+		c := c
+		points = append(points, Point(fmt.Sprintf("cap=%d", c), func(o Options) (Fig4Row, error) {
+			cfg := ScenarioConfig{Seed: o.Seed}
+			if c > 0 {
+				cfg.IntfBuffer = IntfBuffer
+			}
+			if c > 0 && c < 100 {
+				cfg.IntfCap = c
+			}
+			s, err := Build(cfg)
+			if err != nil {
+				return Fig4Row{}, err
+			}
+			s.RunMeasured(o)
+			st := s.RepStats()
+			return Fig4Row{Cap: c, CTime: st.C.Mean(), WTime: st.W.Mean(), PTime: st.P.Mean()}, nil
+		}))
 	}
-	// Base.
-	s, err := Build(ScenarioConfig{Seed: o.Seed})
+	rows, err := RunSweep(o, points)
 	if err != nil {
 		return nil, err
 	}
-	s.RunMeasured(o)
-	st := s.RepStats()
-	res.Rows = append(res.Rows, Fig4Row{Cap: 0, CTime: st.C.Mean(), WTime: st.W.Mean(), PTime: st.P.Mean()})
-	return res, nil
+	return &Fig4Result{Rows: rows}, nil
 }
 
 // byteSize renders a buffer size like the paper's axis labels.

@@ -75,71 +75,98 @@ func (r *TimelineResult) WriteCSV(w io.Writer) error {
 	return set.WriteCSV(w)
 }
 
+// tlSide is one leg of the Base / Interfered / Policy triple; only the
+// policy leg fills the series fields.
+type tlSide struct {
+	Mean, Std  float64
+	PolicyName string
+	Latency    *stats.Series
+	IntfCap    *stats.Series
+	RepCap     *stats.Series
+	RepResos   *stats.Series
+	IntfResos  *stats.Series
+}
+
 // runTimeline executes the Base / Interfered / Policy triple for a policy
 // constructor and collects the timeline series.
 func runTimeline(o Options, figure int, mkPolicy func() resex.Policy) (*TimelineResult, error) {
 	o = o.WithDefaults()
 	o.Timeline = true
-	res := &TimelineResult{Figure: figure}
 
-	// Base.
-	s, err := Build(ScenarioConfig{Timeline: true, Seed: o.Seed})
-	if err != nil {
-		return nil, err
-	}
-	s.RunMeasured(o)
-	st := s.RepStats()
-	res.BaseMean, res.BaseStd = st.Total.Mean(), st.Total.StdDev()
-
-	// Interfered, no ResEx.
-	s, err = Build(ScenarioConfig{Timeline: true, IntfBuffer: IntfBuffer, Seed: o.Seed})
-	if err != nil {
-		return nil, err
-	}
-	s.RunMeasured(o)
-	st = s.RepStats()
-	res.IntfMean, res.IntfStd = st.Total.Mean(), st.Total.StdDev()
-
-	// Policy run with observers.
-	policy := mkPolicy()
-	res.PolicyName = policy.Name()
-	s, err = Build(ScenarioConfig{
-		Timeline:   true,
-		IntfBuffer: IntfBuffer,
-		Policy:     policy,
-		SLAUs:      BaseSLAUs,
-		Seed:       o.Seed,
-	})
-	if err != nil {
-		return nil, err
-	}
-	res.IntfCap = stats.NewSeries("intf-cap")
-	res.RepCap = stats.NewSeries("rep-cap")
-	res.RepResos = stats.NewSeries("rep-resos")
-	res.IntfResos = stats.NewSeries("intf-resos")
-	repVM := s.Mgr.VMs()[0]
-	intfVM := s.Mgr.VM(s.Intf.ServerVM.Dom.ID())
-	s.Mgr.Observe(func(d *resex.IntervalData) {
-		x := float64(d.Index)
-		capOf := func(vm *resex.ManagedVM) float64 {
-			if c := vm.Dom.Cap(); c > 0 {
-				return float64(c)
-			}
-			return 100
+	meanStd := func(cfg ScenarioConfig) (tlSide, error) {
+		s, err := Build(cfg)
+		if err != nil {
+			return tlSide{}, err
 		}
-		res.IntfCap.Add(x, capOf(intfVM))
-		res.RepCap.Add(x, capOf(repVM))
-		res.RepResos.Add(x, float64(repVM.Account.Balance()))
-		res.IntfResos.Add(x, float64(intfVM.Account.Balance()))
-	})
-	s.RunMeasured(o)
-	st = s.RepStats()
-	res.PolicyMean, res.PolicyStd = st.Total.Mean(), st.Total.StdDev()
-	res.Latency = stats.NewSeries("latency")
-	for i, rec := range st.Timeline {
-		res.Latency.Add(float64(i), rec.Total().Microseconds())
+		s.RunMeasured(o)
+		st := s.RepStats()
+		return tlSide{Mean: st.Total.Mean(), Std: st.Total.StdDev()}, nil
 	}
-	return res, nil
+	points := []SweepPoint[tlSide]{
+		Point("base", func(o Options) (tlSide, error) {
+			return meanStd(ScenarioConfig{Timeline: true, Seed: o.Seed})
+		}),
+		Point("interfered", func(o Options) (tlSide, error) {
+			return meanStd(ScenarioConfig{Timeline: true, IntfBuffer: IntfBuffer, Seed: o.Seed})
+		}),
+		Point("policy", func(o Options) (tlSide, error) {
+			// Policy run with observers.
+			policy := mkPolicy()
+			side := tlSide{PolicyName: policy.Name()}
+			s, err := Build(ScenarioConfig{
+				Timeline:   true,
+				IntfBuffer: IntfBuffer,
+				Policy:     policy,
+				SLAUs:      BaseSLAUs,
+				Seed:       o.Seed,
+			})
+			if err != nil {
+				return tlSide{}, err
+			}
+			side.IntfCap = stats.NewSeries("intf-cap")
+			side.RepCap = stats.NewSeries("rep-cap")
+			side.RepResos = stats.NewSeries("rep-resos")
+			side.IntfResos = stats.NewSeries("intf-resos")
+			repVM := s.Mgr.VMs()[0]
+			intfVM := s.Mgr.VM(s.Intf.ServerVM.Dom.ID())
+			s.Mgr.Observe(func(d *resex.IntervalData) {
+				x := float64(d.Index)
+				capOf := func(vm *resex.ManagedVM) float64 {
+					if c := vm.Dom.Cap(); c > 0 {
+						return float64(c)
+					}
+					return 100
+				}
+				side.IntfCap.Add(x, capOf(intfVM))
+				side.RepCap.Add(x, capOf(repVM))
+				side.RepResos.Add(x, float64(repVM.Account.Balance()))
+				side.IntfResos.Add(x, float64(intfVM.Account.Balance()))
+			})
+			s.RunMeasured(o)
+			st := s.RepStats()
+			side.Mean, side.Std = st.Total.Mean(), st.Total.StdDev()
+			side.Latency = stats.NewSeries("latency")
+			for i, rec := range st.Timeline {
+				side.Latency.Add(float64(i), rec.Total().Microseconds())
+			}
+			return side, nil
+		}),
+	}
+	sides, err := RunSweep(o, points)
+	if err != nil {
+		return nil, err
+	}
+	pol := sides[2]
+	return &TimelineResult{
+		Figure:     figure,
+		PolicyName: pol.PolicyName,
+		BaseMean:   sides[0].Mean, BaseStd: sides[0].Std,
+		IntfMean: sides[1].Mean, IntfStd: sides[1].Std,
+		PolicyMean: pol.Mean, PolicyStd: pol.Std,
+		Latency: pol.Latency,
+		IntfCap: pol.IntfCap, RepCap: pol.RepCap,
+		RepResos: pol.RepResos, IntfResos: pol.IntfResos,
+	}, nil
 }
 
 // Fig5 reproduces the FreeMarket timeline.
@@ -271,7 +298,6 @@ func (r *Fig8Result) WriteCSV(w io.Writer) error {
 // 10 requests per epoch).
 func Fig8(o Options) (*Fig8Result, error) {
 	o = o.WithDefaults()
-	res := &Fig8Result{}
 	type caseDef struct {
 		name string
 		cfg  ScenarioConfig
@@ -301,16 +327,24 @@ func Fig8(o Options) (*Fig8Result, error) {
 		{"FM-64KB-2MB-NoIntf", quiet(mkFM())},
 		{"IOS-64KB-2MB-NoIntf", quiet(mkIOS())},
 	}
+	var points []SweepPoint[Fig8Row]
 	for _, c := range cases {
-		s, err := Build(c.cfg)
-		if err != nil {
-			return nil, err
-		}
-		s.RunMeasured(o)
-		st := s.RepStats()
-		res.Rows = append(res.Rows, Fig8Row{Config: c.name, Mean: st.Total.Mean(), Std: st.Total.StdDev()})
+		c := c
+		points = append(points, Point(c.name, func(o Options) (Fig8Row, error) {
+			s, err := Build(c.cfg)
+			if err != nil {
+				return Fig8Row{}, err
+			}
+			s.RunMeasured(o)
+			st := s.RepStats()
+			return Fig8Row{Config: c.name, Mean: st.Total.Mean(), Std: st.Total.StdDev()}, nil
+		}))
 	}
-	return res, nil
+	rows, err := RunSweep(o, points)
+	if err != nil {
+		return nil, err
+	}
+	return &Fig8Result{Rows: rows}, nil
 }
 
 // ---------------------------------------------------------------------------
@@ -354,35 +388,47 @@ func (r *Fig9Result) WriteCSV(w io.Writer) error {
 // policy reference (Base, no interferer), FreeMarket and IOShares.
 func Fig9(o Options) (*Fig9Result, error) {
 	o = o.WithDefaults()
-	res := &Fig9Result{}
-	// Shared Base reference (no interferer).
-	s, err := Build(ScenarioConfig{Seed: o.Seed})
+	runPolicy := func(o Options, buf int, mk func() resex.Policy) (float64, error) {
+		s, err := Build(ScenarioConfig{IntfBuffer: buf, Policy: mk(), SLAUs: BaseSLAUs, Seed: o.Seed})
+		if err != nil {
+			return 0, err
+		}
+		s.RunMeasured(o)
+		return s.RepStats().Total.Mean(), nil
+	}
+	// Point 0 is the shared Base reference (no interferer); then each buffer
+	// contributes a FreeMarket and an IOShares point, in that order.
+	points := []SweepPoint[float64]{
+		Point("base", func(o Options) (float64, error) {
+			s, err := Build(ScenarioConfig{Seed: o.Seed})
+			if err != nil {
+				return 0, err
+			}
+			s.RunMeasured(o)
+			return s.RepStats().Total.Mean(), nil
+		}),
+	}
+	buffers := []int{64 << 10, 128 << 10, 256 << 10, 512 << 10, 1 << 20}
+	for _, buf := range buffers {
+		buf := buf
+		points = append(points,
+			Point("fm-"+byteSize(buf), func(o Options) (float64, error) {
+				return runPolicy(o, buf, func() resex.Policy { return resex.NewFreeMarket() })
+			}),
+			Point("ios-"+byteSize(buf), func(o Options) (float64, error) {
+				return runPolicy(o, buf, func() resex.Policy { return resex.NewIOShares() })
+			}))
+	}
+	means, err := RunSweep(o, points)
 	if err != nil {
 		return nil, err
 	}
-	s.RunMeasured(o)
-	base := s.RepStats().Total.Mean()
-
-	for _, buf := range []int{64 << 10, 128 << 10, 256 << 10, 512 << 10, 1 << 20} {
-		row := Fig9Row{Buffer: buf, Base: base}
-		for _, mk := range []func() resex.Policy{
-			func() resex.Policy { return resex.NewFreeMarket() },
-			func() resex.Policy { return resex.NewIOShares() },
-		} {
-			p := mk()
-			s, err := Build(ScenarioConfig{IntfBuffer: buf, Policy: p, SLAUs: BaseSLAUs, Seed: o.Seed})
-			if err != nil {
-				return nil, err
-			}
-			s.RunMeasured(o)
-			m := s.RepStats().Total.Mean()
-			if p.Name() == "FreeMarket" {
-				row.FreeMarket = m
-			} else {
-				row.IOShares = m
-			}
-		}
-		res.Rows = append(res.Rows, row)
+	res := &Fig9Result{}
+	for i, buf := range buffers {
+		res.Rows = append(res.Rows, Fig9Row{
+			Buffer: buf, Base: means[0],
+			FreeMarket: means[1+2*i], IOShares: means[2+2*i],
+		})
 	}
 	return res, nil
 }

@@ -234,15 +234,19 @@ func servedTotal(pl *placement.Placement) int64 {
 // AblPlacement runs the strategy × scale grid.
 func AblPlacement(o Options) (*AblPlacementResult, error) {
 	o = o.WithDefaults()
-	res := &AblPlacementResult{SLA: placementSLAUs}
+	var points []SweepPoint[AblPlacementRow]
 	for _, scale := range []struct{ hosts, vms int }{{4, 8}, {8, 16}} {
 		for _, strat := range placementStrategies() {
-			row, err := runPlacementRow(o, scale.hosts, scale.vms, strat)
-			if err != nil {
-				return nil, err
-			}
-			res.Rows = append(res.Rows, row)
+			scale, strat := scale, strat
+			points = append(points, Point(fmt.Sprintf("%s %dx%d", strat.name, scale.hosts, scale.vms),
+				func(o Options) (AblPlacementRow, error) {
+					return runPlacementRow(o, scale.hosts, scale.vms, strat)
+				}))
 		}
 	}
-	return res, nil
+	rows, err := RunSweep(o, points)
+	if err != nil {
+		return nil, err
+	}
+	return &AblPlacementResult{SLA: placementSLAUs, Rows: rows}, nil
 }

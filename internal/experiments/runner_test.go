@@ -1,0 +1,141 @@
+package experiments
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"resex/internal/sim"
+)
+
+// sleepPoint returns a point that records nothing but takes real time, to
+// force overlap between workers.
+func sleepPoint(i int) SweepPoint[int] {
+	return Point(fmt.Sprintf("p%d", i), func(o Options) (int, error) {
+		time.Sleep(time.Duration(5-i%3) * time.Millisecond)
+		return i * i, nil
+	})
+}
+
+func TestRunSweepOrderPreserved(t *testing.T) {
+	var points []SweepPoint[int]
+	for i := 0; i < 12; i++ {
+		points = append(points, sleepPoint(i))
+	}
+	for _, par := range []int{1, 4, 32} {
+		got, err := RunSweep(Options{Parallel: par}, points)
+		if err != nil {
+			t.Fatalf("Parallel=%d: %v", par, err)
+		}
+		if len(got) != 12 {
+			t.Fatalf("Parallel=%d: %d results, want 12", par, len(got))
+		}
+		for i, v := range got {
+			if v != i*i {
+				t.Errorf("Parallel=%d: result[%d] = %d, want %d", par, i, v, i*i)
+			}
+		}
+	}
+}
+
+func TestRunSweepErrorDeclaredOrder(t *testing.T) {
+	errA := errors.New("a failed")
+	errB := errors.New("b failed")
+	points := []SweepPoint[int]{
+		Point("ok", func(o Options) (int, error) { return 1, nil }),
+		Point("a", func(o Options) (int, error) {
+			time.Sleep(10 * time.Millisecond) // fails *later* in wall time...
+			return 0, errA
+		}),
+		Point("b", func(o Options) (int, error) { return 0, errB }),
+	}
+	for _, par := range []int{1, 3} {
+		_, err := RunSweep(Options{Parallel: par}, points)
+		// ...but the declared-order error wins, matching the serial loop.
+		if err != errA {
+			t.Errorf("Parallel=%d: err = %v, want %v", par, err, errA)
+		}
+	}
+}
+
+func TestRunSweepPointOptions(t *testing.T) {
+	base := Options{Seed: 42, Parallel: 8}
+	var seen []Options
+	var points []SweepPoint[Options]
+	for i := 0; i < 4; i++ {
+		points = append(points, Point(fmt.Sprintf("p%d", i),
+			func(o Options) (Options, error) { return o, nil }))
+	}
+	got, err := RunSweep(base, points)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen = got
+	for i, o := range seen {
+		if o.Parallel != 1 {
+			t.Errorf("point %d: Parallel = %d, want 1 (points are leaves)", i, o.Parallel)
+		}
+		if o.Seed != 42 {
+			t.Errorf("point %d: Seed = %d, want base seed 42", i, o.Seed)
+		}
+		if o.PointSeed != DeriveSeed(42, i) {
+			t.Errorf("point %d: PointSeed = %d, want DeriveSeed(42,%d)", i, o.PointSeed, i)
+		}
+	}
+}
+
+func TestDeriveSeedDistinct(t *testing.T) {
+	seen := map[int64]bool{}
+	for _, base := range []int64{0, 1, 2, 42, -7} {
+		for i := 0; i < 64; i++ {
+			s := DeriveSeed(base, i)
+			if seen[s] {
+				t.Fatalf("DeriveSeed collision at base=%d i=%d: %d", base, i, s)
+			}
+			seen[s] = true
+			if s2 := DeriveSeed(base, i); s2 != s {
+				t.Fatalf("DeriveSeed not deterministic: %d vs %d", s, s2)
+			}
+		}
+	}
+}
+
+// TestParallelByteIdentity is the sweep runner's core contract at the figure
+// level: the same experiment rendered from a serial run and from a 4-worker
+// run must be byte-identical. CI checks the same property across every
+// registered experiment via `resexsim -all -parallel {1,8}`.
+func TestParallelByteIdentity(t *testing.T) {
+	small := Options{Duration: 100 * sim.Millisecond, Warmup: 25 * sim.Millisecond, Seed: 7}
+	for _, id := range []string{"fig3", "abl-capacity"} {
+		e, err := Lookup(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		render := func(par int) (string, string) {
+			o := small
+			o.Parallel = par
+			r, err := e.Run(o)
+			if err != nil {
+				t.Fatalf("%s Parallel=%d: %v", id, par, err)
+			}
+			var txt, csv strings.Builder
+			if err := r.WriteText(&txt); err != nil {
+				t.Fatalf("%s WriteText: %v", id, err)
+			}
+			if err := r.WriteCSV(&csv); err != nil {
+				t.Fatalf("%s WriteCSV: %v", id, err)
+			}
+			return txt.String(), csv.String()
+		}
+		txt1, csv1 := render(1)
+		txt4, csv4 := render(4)
+		if txt1 != txt4 {
+			t.Errorf("%s: text output differs between Parallel=1 and Parallel=4", id)
+		}
+		if csv1 != csv4 {
+			t.Errorf("%s: CSV output differs between Parallel=1 and Parallel=4", id)
+		}
+	}
+}

@@ -47,6 +47,17 @@ type Options struct {
 	// different seed explore a different (but still fully deterministic)
 	// request arrival pattern. Default 0 preserves the historical outputs.
 	Seed int64
+	// Parallel bounds the worker pool RunSweep uses to execute a figure's
+	// independent sweep points. 1 (the default) runs points serially;
+	// higher values change wall-clock time only — results are merged in
+	// declaration order, so output is byte-identical either way.
+	Parallel int
+	// PointSeed is set by RunSweep for each sweep point: a splitmix64
+	// stream derived from (Seed, point index). Points that want
+	// decorrelated randomness may use it instead of offsetting Seed by
+	// hand. It is informational for the historical figure drivers, which
+	// keep their original Seed arithmetic to preserve recorded outputs.
+	PointSeed int64
 }
 
 // WithDefaults fills zero fields.
@@ -56,6 +67,9 @@ func (o Options) WithDefaults() Options {
 	}
 	if o.Warmup <= 0 {
 		o.Warmup = 100 * sim.Millisecond
+	}
+	if o.Parallel <= 0 {
+		o.Parallel = 1
 	}
 	return o
 }

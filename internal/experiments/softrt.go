@@ -59,8 +59,7 @@ func (r *SoftRTResult) WriteCSV(w io.Writer) error {
 func SoftRT(o Options) (*SoftRTResult, error) {
 	o = o.WithDefaults()
 	const deadline = 100 * sim.Microsecond
-	res := &SoftRTResult{DeadlineUs: deadline.Microseconds()}
-	run := func(name string, withBulk, managed bool) error {
+	run := func(o Options, name string, withBulk, managed bool) (SoftRTRow, error) {
 		tb := cluster.New(cluster.Config{})
 		hostA, hostB := tb.AddHost(1), tb.AddHost(2)
 		st, err := softrt.New(tb, hostA, hostB, softrt.Config{
@@ -69,7 +68,7 @@ func SoftRT(o Options) (*SoftRTResult, error) {
 			Deadline:  deadline,
 		})
 		if err != nil {
-			return err
+			return SoftRTRow{}, err
 		}
 		var mgr *resex.Manager
 		if managed {
@@ -84,10 +83,10 @@ func SoftRT(o Options) (*SoftRTResult, error) {
 				benchex.ServerConfig{BufferSize: BaseBuffer},
 				benchex.ClientConfig{BufferSize: BaseBuffer, Seed: o.Seed + 1})
 			if err != nil {
-				return err
+				return SoftRTRow{}, err
 			}
 			if _, err := mgr.Manage(trading.ServerVM.Dom, trading.Server.SendCQ(), BaseSLAUs); err != nil {
-				return err
+				return SoftRTRow{}, err
 			}
 			benchex.NewAgent(trading.Server, trading.ServerVM.Dom.ID(), mgr, benchex.AgentConfig{}).Start()
 			trading.Start()
@@ -97,11 +96,11 @@ func SoftRT(o Options) (*SoftRTResult, error) {
 				benchex.ServerConfig{BufferSize: IntfBuffer, ProcessTime: 2 * sim.Millisecond, PipelineResponses: true, RecvSlots: 18},
 				benchex.ClientConfig{BufferSize: IntfBuffer, Window: 16, Interval: 3700 * sim.Microsecond, BurstyArrivals: true, Seed: o.Seed + 999})
 			if err != nil {
-				return err
+				return SoftRTRow{}, err
 			}
 			if mgr != nil {
 				if _, err := mgr.Manage(bulk.ServerVM.Dom, bulk.Server.SendCQ(), 0); err != nil {
-					return err
+					return SoftRTRow{}, err
 				}
 			}
 			bulk.Start()
@@ -109,23 +108,27 @@ func SoftRT(o Options) (*SoftRTResult, error) {
 		st.Start()
 		tb.Eng.RunUntil(o.Duration)
 		s := st.Stats()
-		res.Rows = append(res.Rows, SoftRTRow{
+		row := SoftRTRow{
 			Config:   name,
 			MissRate: s.MissRate(),
 			MeanUs:   s.Latency.Mean(),
 			JitterUs: s.Jitter.Mean(),
-		})
+		}
 		tb.Eng.Shutdown()
-		return nil
+		return row, nil
 	}
-	if err := run("alone", false, false); err != nil {
+	mk := func(name string, withBulk, managed bool) SweepPoint[SoftRTRow] {
+		return Point(name, func(o Options) (SoftRTRow, error) {
+			return run(o, name, withBulk, managed)
+		})
+	}
+	rows, err := RunSweep(o, []SweepPoint[SoftRTRow]{
+		mk("alone", false, false),
+		mk("with 2MB bulk", true, false),
+		mk("with bulk + IOShares", true, true),
+	})
+	if err != nil {
 		return nil, err
 	}
-	if err := run("with 2MB bulk", true, false); err != nil {
-		return nil, err
-	}
-	if err := run("with bulk + IOShares", true, true); err != nil {
-		return nil, err
-	}
-	return res, nil
+	return &SoftRTResult{DeadlineUs: deadline.Microseconds(), Rows: rows}, nil
 }

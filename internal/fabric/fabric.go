@@ -96,7 +96,7 @@ type Link struct {
 	queued  int
 	perFlow map[uint32]int64 // bytes per flow, for IOShare accounting
 	stats   LinkStats
-	wakeup  *sim.Timer // pending retry for rate-limited flows
+	wakeup  sim.Timer // pending retry for rate-limited flows
 
 	// Fault state (driven by the faults package).
 	degrade float64 // bandwidth multiplier in (0,1]; 0 means healthy (×1)
@@ -302,9 +302,7 @@ func (l *Link) armWakeup() {
 	if at < 0 {
 		return
 	}
-	if l.wakeup != nil {
-		l.wakeup.Stop()
-	}
+	l.wakeup.Stop()
 	l.wakeup = l.eng.Schedule(at, func() {
 		if !l.busy {
 			l.transmitNext()

@@ -1,72 +1,80 @@
 package sim
 
-import (
-	"container/heap"
-	"fmt"
-)
-
-// event is a single scheduled callback.
-type event struct {
-	at       Time
-	seq      uint64 // tie-breaker: FIFO among events at the same instant
-	fn       func()
-	canceled bool
-	index    int // heap index, -1 once popped
-}
-
-// eventHeap orders events by (at, seq).
-type eventHeap []*event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
-	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int) {
-	h[i], h[j] = h[j], h[i]
-	h[i].index = i
-	h[j].index = j
-}
-func (h *eventHeap) Push(x any) {
-	ev := x.(*event)
-	ev.index = len(*h)
-	*h = append(*h, ev)
-}
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = nil
-	ev.index = -1
-	*h = old[:n-1]
-	return ev
-}
+import "fmt"
 
 // Timer is a handle to a scheduled event; it can be canceled before it
-// fires. For recurring timers created with Every, Stop also prevents any
-// further rescheduling, even when called from inside the tick callback.
+// fires. Timers are plain values — Schedule and After return them on the
+// stack, so the steady-state schedule/fire path performs no heap
+// allocation. The zero Timer is inert: Stop reports false, When reports 0.
+//
+// For recurring timers created with Every, Stop also prevents any further
+// rescheduling, even when called from inside the tick callback.
 type Timer struct {
-	ev      *event
-	stopped bool
+	eng *Engine
+	ev  *event
+	per *periodic
+	at  Time
+	gen uint64
 }
 
-// Stop cancels the timer. It reports whether a pending event was canceled.
+// live reports whether the one-shot occurrence this Timer refers to is still
+// scheduled (the pooled event may have been consumed and reused since).
+func (t *Timer) live() bool { return t.ev != nil && t.ev.gen == t.gen }
+
+// Stop cancels the timer. It reports whether a pending occurrence was
+// canceled. Canceled one-shot events are removed from the heap immediately
+// and recycled, so a cancel-heavy workload's queue and memory stay bounded
+// by what is genuinely pending.
 func (t *Timer) Stop() bool {
-	if t == nil || t.stopped {
+	if t == nil {
 		return false
 	}
-	t.stopped = true
-	if t.ev == nil || t.ev.canceled || t.ev.index == -1 {
+	if p := t.per; p != nil {
+		if p.stopped {
+			return false
+		}
+		p.stopped = true
+		if p.firing {
+			// Stopped from inside its own tick: the pending occurrence is
+			// the one currently executing, so nothing future was canceled;
+			// the engine sees stopped after fn returns and drops the timer.
+			return false
+		}
+		p.eng.wheelRemove(p)
+		return true
+	}
+	if !t.live() {
 		return false
 	}
-	t.ev.canceled = true
+	ev := t.eng.events.removeAt(t.ev.index)
+	t.eng.release(ev)
 	return true
 }
 
-// When returns the virtual time the timer is scheduled for.
-func (t *Timer) When() Time { return t.ev.at }
+// Active reports whether the timer still has a pending occurrence.
+func (t *Timer) Active() bool {
+	if t == nil {
+		return false
+	}
+	if t.per != nil {
+		return !t.per.stopped
+	}
+	return t.live()
+}
+
+// When returns the virtual time the timer is (or was last) scheduled for:
+// the pending occurrence while one exists, the fire time after a one-shot
+// fired, the final tick time after a recurring timer stopped. The zero
+// Timer reports 0.
+func (t *Timer) When() Time {
+	if t == nil {
+		return 0
+	}
+	if t.per != nil {
+		return t.per.nextAt
+	}
+	return t.at
+}
 
 // Engine is a discrete-event simulation executor. The zero value is not
 // usable; create engines with New.
@@ -74,13 +82,19 @@ func (t *Timer) When() Time { return t.ev.at }
 // Engines are strictly single-threaded: events run one at a time on the
 // goroutine that called Run/RunUntil/Step, and processes created with Go are
 // coscheduled so only one of them (or the engine) executes at any moment.
+//
+// The hot path is allocation-free: events are concrete structs recycled
+// through a slab-allocated free list, the queue is an inlined 4-ary indexed
+// heap (no container/heap interface boxing), recurring timers reschedule in
+// place on a wheel without touching the heap, and Timer handles are values.
 type Engine struct {
 	now     Time
 	events  eventHeap
+	wheel   []*periodic
+	free    []*event
 	seq     uint64
 	procs   map[*Proc]struct{}
 	stepped uint64
-	inEvent bool
 	stopped bool
 }
 
@@ -98,18 +112,22 @@ func (e *Engine) Steps() uint64 { return e.stepped }
 
 // Schedule registers fn to run at the absolute virtual time at. Scheduling in
 // the past (before Now) panics: it would silently reorder causality.
-func (e *Engine) Schedule(at Time, fn func()) *Timer {
+// Scheduling at exactly Now is allowed and fires after the current event.
+func (e *Engine) Schedule(at Time, fn func()) Timer {
 	if at < e.now {
 		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", at, e.now))
 	}
 	e.seq++
-	ev := &event{at: at, seq: e.seq, fn: fn}
-	heap.Push(&e.events, ev)
-	return &Timer{ev: ev}
+	ev := e.acquire()
+	ev.at = at
+	ev.seq = e.seq
+	ev.fn = fn
+	e.events.push(ev)
+	return Timer{eng: e, ev: ev, at: at, gen: ev.gen}
 }
 
 // After registers fn to run d from now.
-func (e *Engine) After(d Time, fn func()) *Timer {
+func (e *Engine) After(d Time, fn func()) Timer {
 	if d < 0 {
 		d = 0
 	}
@@ -117,51 +135,57 @@ func (e *Engine) After(d Time, fn func()) *Timer {
 }
 
 // Every schedules fn at now+d, now+2d, ... until the returned Timer is
-// stopped. fn observes the tick time via Engine.Now.
-func (e *Engine) Every(d Time, fn func()) *Timer {
+// stopped. fn observes the tick time via Engine.Now. The recurring timer
+// lives on the engine's wheel: each tick reschedules in place, so periodic
+// load — the dominant event class in a full simulation — never touches the
+// heap and never allocates.
+func (e *Engine) Every(d Time, fn func()) Timer {
 	if d <= 0 {
 		panic("sim: Every requires a positive period")
 	}
-	t := &Timer{}
-	var tick func()
-	tick = func() {
-		fn()
-		if !t.stopped {
-			t.ev = e.After(d, tick).ev
-		}
-	}
-	t.ev = e.After(d, tick).ev
-	return t
+	e.seq++
+	p := &periodic{eng: e, period: d, nextAt: e.now + d, seq: e.seq, fn: fn}
+	e.wheel = append(e.wheel, p)
+	return Timer{per: p}
 }
 
 // Step executes the single earliest pending event. It reports false when no
 // events remain.
 func (e *Engine) Step() bool {
-	for e.events.Len() > 0 {
-		ev := heap.Pop(&e.events).(*event)
-		if ev.canceled {
-			continue
+	if len(e.wheel) > 0 {
+		wi := e.wheelMin()
+		w := e.wheel[wi]
+		if len(e.events) == 0 || w.nextAt < e.events[0].at ||
+			(w.nextAt == e.events[0].at && w.seq < e.events[0].seq) {
+			e.fireWheel(wi)
+			return true
 		}
-		e.now = ev.at
-		e.stepped++
-		e.inEvent = true
-		ev.fn()
-		e.inEvent = false
-		return true
 	}
-	return false
+	if len(e.events) == 0 {
+		return false
+	}
+	ev := e.events.popMin()
+	e.now = ev.at
+	e.stepped++
+	fn := ev.fn
+	e.release(ev)
+	fn()
+	return true
 }
 
-// peek returns the time of the earliest non-canceled pending event.
+// peek returns the time of the earliest pending event.
 func (e *Engine) peek() (Time, bool) {
-	for e.events.Len() > 0 {
-		if e.events[0].canceled {
-			heap.Pop(&e.events)
-			continue
-		}
-		return e.events[0].at, true
+	var at Time
+	ok := false
+	if len(e.events) > 0 {
+		at, ok = e.events[0].at, true
 	}
-	return 0, false
+	if len(e.wheel) > 0 {
+		if w := e.wheel[e.wheelMin()].nextAt; !ok || w < at {
+			at, ok = w, true
+		}
+	}
+	return at, ok
 }
 
 // Run executes events until none remain or Stop is called.
@@ -191,15 +215,11 @@ func (e *Engine) RunUntil(t Time) {
 // completes. Pending events are preserved.
 func (e *Engine) Stop() { e.stopped = true }
 
-// Pending returns the number of scheduled (non-canceled) events.
+// Pending returns the number of scheduled events in O(1): the heap holds
+// only live one-shots (cancelation removes in place) and every wheel entry
+// has exactly one pending occurrence.
 func (e *Engine) Pending() int {
-	n := 0
-	for _, ev := range e.events {
-		if !ev.canceled {
-			n++
-		}
-	}
-	return n
+	return len(e.events) + len(e.wheel)
 }
 
 // Shutdown kills every live process so their goroutines exit. Call at the end

@@ -178,7 +178,7 @@ func TestRunUntil(t *testing.T) {
 func TestEvery(t *testing.T) {
 	e := New()
 	var ticks []Time
-	var tm *Timer
+	var tm Timer
 	tm = e.Every(10, func() {
 		ticks = append(ticks, e.Now())
 		if len(ticks) == 3 {

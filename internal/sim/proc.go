@@ -23,6 +23,10 @@ type Proc struct {
 	killed  bool
 	err     any
 	endSig  *Signal
+	// dispatchFn is the bound p.dispatch method value, created once so the
+	// hot park/resume path (Sleep, Signal.Broadcast) does not allocate a
+	// fresh method-value closure per event.
+	dispatchFn func()
 }
 
 // Go spawns fn as a new process starting at the current virtual time. The
@@ -34,6 +38,7 @@ func (e *Engine) Go(name string, fn func(*Proc)) *Proc {
 		resume: make(chan struct{}),
 		yield:  make(chan struct{}),
 	}
+	p.dispatchFn = p.dispatch
 	p.endSig = NewSignal(e)
 	e.procs[p] = struct{}{}
 	e.After(0, func() {
@@ -119,7 +124,7 @@ func (p *Proc) Sleep(d Time) {
 	if d < 0 {
 		d = 0
 	}
-	p.eng.Schedule(p.eng.now+d, p.dispatch)
+	p.eng.Schedule(p.eng.now+d, p.dispatchFn)
 	p.park()
 }
 
@@ -156,7 +161,7 @@ func (p *Proc) Join(other *Proc) {
 // timeout. A stale registration left behind by a timeout is inert.
 func (p *Proc) WaitAny(s *Signal, d Time) (signaled bool) {
 	done := false
-	var timer *Timer
+	var timer Timer
 	s.Notify(func() {
 		if done {
 			return
@@ -208,8 +213,7 @@ func (s *Signal) Broadcast() {
 	funcs := s.funcs
 	s.funcs = nil
 	for _, w := range waiters {
-		w := w
-		s.eng.After(0, w.dispatch)
+		s.eng.After(0, w.dispatchFn)
 	}
 	for _, fn := range funcs {
 		s.eng.After(0, fn)
@@ -229,7 +233,7 @@ func (s *Signal) Wake() bool {
 	}
 	w := s.waiters[0]
 	s.waiters = s.waiters[1:]
-	s.eng.After(0, w.dispatch)
+	s.eng.After(0, w.dispatchFn)
 	return true
 }
 

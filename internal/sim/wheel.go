@@ -1,0 +1,65 @@
+package sim
+
+// periodic is a recurring timer created with Every. Periodic ticks dominate
+// real simulations (the 1 ms ResEx charging interval, 1 s epochs, monitor
+// polls), so they live outside the event heap in a dedicated wheel: firing a
+// tick advances nextAt and reassigns seq in place — no heap push/pop, no
+// allocation, ever.
+type periodic struct {
+	eng     *Engine
+	period  Time
+	nextAt  Time
+	seq     uint64
+	fn      func()
+	stopped bool
+	firing  bool // true while fn runs, so Stop-from-inside-the-tick is safe
+}
+
+// wheelMin returns the index of the earliest pending periodic by (nextAt,
+// seq), or -1 when the wheel is empty. The wheel holds a handful of tickers,
+// so a linear scan beats any ordered structure's maintenance cost.
+func (e *Engine) wheelMin() int {
+	best := -1
+	for i, p := range e.wheel {
+		if best < 0 || p.nextAt < e.wheel[best].nextAt ||
+			(p.nextAt == e.wheel[best].nextAt && p.seq < e.wheel[best].seq) {
+			best = i
+		}
+	}
+	return best
+}
+
+// wheelRemove unlinks p. Order within the slice is irrelevant: wheelMin
+// compares (nextAt, seq), so swap-removal cannot perturb determinism.
+func (e *Engine) wheelRemove(p *periodic) {
+	for i, q := range e.wheel {
+		if q == p {
+			n := len(e.wheel) - 1
+			e.wheel[i] = e.wheel[n]
+			e.wheel[n] = nil
+			e.wheel = e.wheel[:n]
+			return
+		}
+	}
+}
+
+// fireWheel executes the pending tick of e.wheel[i]: run the callback, then
+// reschedule in place unless the timer stopped itself. The seq for the next
+// occurrence is assigned after fn runs — exactly where the old
+// heap-rescheduling implementation assigned it — so event ordering, and with
+// it every seeded experiment output, is unchanged byte for byte.
+func (e *Engine) fireWheel(i int) {
+	p := e.wheel[i]
+	e.now = p.nextAt
+	e.stepped++
+	p.firing = true
+	p.fn()
+	p.firing = false
+	if p.stopped {
+		e.wheelRemove(p)
+		return
+	}
+	e.seq++
+	p.seq = e.seq
+	p.nextAt += p.period
+}

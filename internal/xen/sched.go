@@ -14,8 +14,9 @@ type PCPU struct {
 	vcpus      []*VCPU
 	current    *VCPU
 	grantEnd   sim.Time
-	grantTimer *sim.Timer
-	retryTimer *sim.Timer
+	grantTimer sim.Timer
+	retryTimer sim.Timer
+	endGrantFn func()   // bound endGrant, allocated once (grants are per-tick hot)
 	busy       sim.Time // cumulative granted-and-used time
 }
 
@@ -97,20 +98,21 @@ func (c *PCPU) reschedule() {
 	c.current = v
 	c.grantEnd = now + g
 	v.running = true
-	c.grantTimer = c.hv.eng.After(g, c.endGrant)
+	if c.endGrantFn == nil {
+		c.endGrantFn = c.endGrant
+	}
+	c.grantTimer = c.hv.eng.After(g, c.endGrantFn)
 	v.grantSig.Broadcast()
 }
 
 // scheduleRetry arms (at most one) wake-up for an idle CPU whose remaining
-// demand is capped out until the given window boundary.
+// demand is capped out until the given window boundary. A fired retry timer
+// reports inactive on its own, so no reset bookkeeping is needed.
 func (c *PCPU) scheduleRetry(at sim.Time) {
-	if c.retryTimer != nil {
+	if c.retryTimer.Active() {
 		return
 	}
-	c.retryTimer = c.hv.eng.Schedule(at, func() {
-		c.retryTimer = nil
-		c.maybeReschedule()
-	})
+	c.retryTimer = c.hv.eng.Schedule(at, c.maybeReschedule)
 }
 
 // endGrant expires the active grant and makes the next decision.
