@@ -570,3 +570,15 @@ func BenchmarkFaultsEmptyScheduleOverhead(b *testing.B) {
 		b.Fatal(err)
 	}
 }
+
+// ---------------------------------------------------------------------------
+// Workload engine: the three abl-workload studies end to end.
+// ---------------------------------------------------------------------------
+
+// BenchmarkAblWorkload runs the offered-load sweep (both policies, every
+// load point) once per iteration.
+func BenchmarkAblWorkload(b *testing.B) { runFigure(b, "abl-workload") }
+
+// BenchmarkAblWorkloadMix runs the mixed-class scenario (unmanaged,
+// FreeMarket, IOShares) once per iteration.
+func BenchmarkAblWorkloadMix(b *testing.B) { runFigure(b, "abl-workload-mix") }

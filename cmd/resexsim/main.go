@@ -16,6 +16,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"runtime"
@@ -26,6 +27,23 @@ import (
 	"resex/internal/report"
 	"resex/internal/sim"
 )
+
+// listExperiments writes every registered experiment, sorted by id and
+// aligned to the longest one — the single source for -list and for the
+// unknown-experiment usage message.
+func listExperiments(w io.Writer, indent string) {
+	ids := experiments.IDs()
+	width := 0
+	for _, id := range ids {
+		if len(id) > width {
+			width = len(id)
+		}
+	}
+	for _, id := range ids {
+		e, _ := experiments.Lookup(id)
+		fmt.Fprintf(w, "%s%-*s %s\n", indent, width, e.ID, e.Title)
+	}
+}
 
 func main() {
 	var (
@@ -43,10 +61,7 @@ func main() {
 	flag.Parse()
 
 	if *list {
-		for _, id := range experiments.IDs() {
-			e, _ := experiments.Lookup(id)
-			fmt.Printf("%-6s %s\n", e.ID, e.Title)
-		}
+		listExperiments(os.Stdout, "")
 		return
 	}
 
@@ -67,10 +82,7 @@ func main() {
 	for _, id := range ids {
 		if _, err := experiments.Lookup(id); err != nil {
 			fmt.Fprintf(os.Stderr, "resexsim: unknown experiment %q\n\nvalid experiments:\n", id)
-			for _, vid := range experiments.IDs() {
-				e, _ := experiments.Lookup(vid)
-				fmt.Fprintf(os.Stderr, "  %-14s %s\n", e.ID, e.Title)
-			}
+			listExperiments(os.Stderr, "  ")
 			os.Exit(2)
 		}
 	}

@@ -1,0 +1,128 @@
+// Workload: the multi-tenant traffic engine end to end.
+//
+// A provider consolidates three tenant classes onto one managed host:
+//
+//   - "api": a latency-sensitive closed-loop service — one user, think time
+//     zero, an SLA reference with the host's ResEx manager and a client-side
+//     p99 SLO tracked as time-weighted attainment,
+//   - "web": an open-loop front end whose Poisson arrivals swing sinusoidally
+//     over a compressed day/night cycle (Diurnal), with a queue-cap admission
+//     hook so a traffic spike sheds instead of building an unbounded backlog,
+//   - "bulk": a 2 MB bursty mover (two-state MMPP) with no SLA — the
+//     interferer the paper's scenario is built around.
+//
+// The same rig runs twice — unmanaged, then under ResEx/IOShares — and the
+// per-tenant tables show what management buys: the api tenant's p99 and SLO
+// attainment recover while the bulk tenant pays for its interference with
+// CPU caps and throughput.
+//
+// Run it with:
+//
+//	go run ./examples/workload
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"resex/internal/experiments"
+	"resex/internal/resex"
+	"resex/internal/sim"
+	"resex/internal/workload"
+)
+
+// run boots the three-tenant rig under the given policy (nil = unmanaged),
+// runs 200 ms of warmup plus 2 s measured, and returns the tenants.
+func run(policy func() resex.Policy) []*workload.Tenant {
+	e := workload.New(workload.Config{Hosts: 1, ClientPCPUs: 8, Policy: policy})
+
+	// The api tenant mirrors the paper's reporter: window 1, so every
+	// service-time inflation lands in the in-VM agent's report.
+	if _, err := e.AddTenant(workload.TenantSpec{
+		Name:             "api",
+		Closed:           workload.ClosedLoop{Concurrency: 1},
+		SLO:              workload.SLOSpec{P99Us: 2 * experiments.BaseSLAUs},
+		SLAUs:            experiments.BaseSLAUs,
+		LatencySensitive: true,
+		Seed:             1,
+	}); err != nil {
+		log.Fatal(err)
+	}
+
+	// The web tenant is open loop: arrivals keep coming whether or not the
+	// host keeps up, modulated over four "days" of 500 ms each. The queue
+	// cap sheds load once 64 admitted requests are waiting.
+	if _, err := e.AddTenant(workload.TenantSpec{
+		Name: "web",
+		Arrivals: workload.Diurnal{
+			MeanRate:  1200,
+			Amplitude: 0.6,
+			Period:    500 * sim.Millisecond,
+		},
+		SLO:       workload.SLOSpec{P99Us: 4 * experiments.BaseSLAUs},
+		Admission: workload.QueueCap{Max: 16},
+		Seed:      2,
+	}); err != nil {
+		log.Fatal(err)
+	}
+
+	// The bulk tenant is the scenario interferer reshaped as a tenant:
+	// 2 MB requests in calm/burst phases, pipelined responses, no SLA —
+	// managed and attributable, but never a self-declared victim.
+	if _, err := e.AddTenant(workload.TenantSpec{
+		Name:       "bulk",
+		BufferSize: experiments.IntfBuffer,
+		Arrivals: &workload.MMPP2{
+			CalmRate: 150, BurstRate: 800,
+			CalmDwell: 40 * sim.Millisecond, BurstDwell: 10 * sim.Millisecond,
+		},
+		Window:         16,
+		ProcessTime:    2 * sim.Millisecond,
+		PipelineServer: true,
+		Seed:           3,
+	}); err != nil {
+		log.Fatal(err)
+	}
+
+	e.RunMeasured(200*sim.Millisecond, 2*sim.Second)
+	return e.Tenants()
+}
+
+func show(tenants []*workload.Tenant) {
+	fmt.Printf("%-6s %10s %11s %7s %9s %9s %7s\n",
+		"tenant", "offered/s", "completed/s", "shed", "p50(µs)", "p99(µs)", "SLO%")
+	for _, t := range tenants {
+		st := t.Stats()
+		slo := "-"
+		if t.Spec.SLO.Constrained() {
+			slo = fmt.Sprintf("%.1f", st.AttainPct)
+		}
+		fmt.Printf("%-6s %10.0f %11.0f %7d %9.0f %9.0f %7s\n",
+			t.Spec.Name, st.OfferedPerSec, st.CompletedPerSec,
+			st.Shed, st.P50, st.P99, slo)
+	}
+}
+
+func main() {
+	fmt.Println("Three tenant classes consolidated on one host (2s virtual time each):")
+
+	fmt.Println("\n--- unmanaged ---")
+	show(run(nil))
+
+	fmt.Println("\n--- ResEx / IOShares ---")
+	show(run(func() resex.Policy {
+		// Same tuning as the abl-workload experiments: open-loop arrival
+		// jitter defeats the deviation trigger, so trigger on the SLA
+		// reference alone after a long warmup.
+		p := resex.NewIOShares()
+		p.UseDeviation = false
+		p.WarmupIntervals = 100
+		return p
+	}))
+
+	fmt.Println("\nUnder IOShares the api tenant's p99 falls back under its SLO and its")
+	fmt.Println("attainment recovers; the bulk mover is capped and loses throughput — the")
+	fmt.Println("price of interference. The web tenant's shed count stays zero because")
+	fmt.Println("the host absorbs its diurnal peak; the queue cap is the safety valve for")
+	fmt.Println("when it wouldn't (resexsim -fig abl-workload-burst shows it firing).")
+}

@@ -78,6 +78,15 @@ type ServerConfig struct {
 	// RecordTimeline keeps a per-request record (needed by the timeline
 	// figures). Summaries are always kept.
 	RecordTimeline bool
+	// IdleAwareService clocks PTime from the request CQE's device timestamp
+	// rather than from the end of the previous request, so time spent waiting
+	// with an *empty* receive queue does not count as service latency.
+	// Closed-loop clients always have a request in flight, making the two
+	// clocks nearly equal; open-loop clients leave genuine idle gaps that
+	// would otherwise dominate the reported latency at light load and read
+	// as phantom SLA violations (a 7 ms arrival gap is not a 7 ms request).
+	// Off by default to preserve the paper figures' original accounting.
+	IdleAwareService bool
 }
 
 func (c ServerConfig) withDefaults() ServerConfig {

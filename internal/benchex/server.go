@@ -194,6 +194,11 @@ func (s *Server) run(p *sim.Proc) {
 			return
 		}
 		pTime := s.eng.Now() - t0
+		if s.cfg.IdleAwareService && cqe.At > t0 {
+			// The request reached the NIC only at cqe.At; the span before
+			// that was an empty queue, not service.
+			pTime = s.eng.Now() - cqe.At
+		}
 		reaped := s.eng.Now()
 
 		ep := s.eps[cqe.QPN]

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"sort"
 	"strings"
 	"testing"
 
@@ -266,8 +267,11 @@ func TestFig9Shape(t *testing.T) {
 
 func TestRegistry(t *testing.T) {
 	ids := IDs()
-	if len(ids) != 16 { // 9 figures + 6 ablations + softrt extension
+	if len(ids) != 19 { // 9 figures + 6 ablations + 3 workload studies + softrt
 		t.Fatalf("IDs = %v", ids)
+	}
+	if !sort.StringsAreSorted(ids) {
+		t.Errorf("IDs not sorted: %v", ids)
 	}
 	for _, id := range ids {
 		e, err := Lookup(id)
@@ -499,5 +503,141 @@ func TestAblFaultsDeterministic(t *testing.T) {
 	}
 	if a != b {
 		t.Errorf("same seed diverged:\n  %+v\n  %+v", a, b)
+	}
+}
+
+func TestAblWorkloadShape(t *testing.T) {
+	r, err := AblWorkload(Options{Duration: 500 * sim.Millisecond, Warmup: 50 * sim.Millisecond, Parallel: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 10 { // 5 loads × 2 policies
+		t.Fatalf("rows = %d", len(r.Rows))
+	}
+	if r.CapacityPerTenant <= 0 {
+		t.Fatalf("capacity %.1f", r.CapacityPerTenant)
+	}
+	get := func(load int, policy string) AblWorkloadRow {
+		for _, row := range r.Rows {
+			if row.LoadPct == load && row.Policy == policy {
+				return row
+			}
+		}
+		t.Fatalf("missing %d%%/%s", load, policy)
+		return AblWorkloadRow{}
+	}
+	for _, policy := range []string{"freemarket", "ioshares"} {
+		light, knee := get(50, policy), get(90, policy)
+		// The hockey stick: open-loop queueing past the knee blows the tail
+		// in a way closed-loop clients can never show.
+		if knee.P99 < 5*light.P99 {
+			t.Errorf("%s: p99 %.0f at 90%% load not ≥5× p99 %.0f at 50%%",
+				policy, knee.P99, light.P99)
+		}
+		// Light load actually is light: the p50 stays near the base RTT.
+		if l := get(30, policy); l.P50 > workloadSLAUs {
+			t.Errorf("%s: p50 %.0f at 30%% load above SLA %.0f — spiral?",
+				policy, l.P50, workloadSLAUs)
+		}
+	}
+	// At the knee IOShares keeps the backlog bounded where FreeMarket lets
+	// it run away (6.8 ms vs 71 ms in the reference run).
+	if ios, fm := get(90, "ioshares"), get(90, "freemarket"); ios.P99 >= fm.P99 {
+		t.Errorf("90%% load: ioshares p99 %.0f not below freemarket %.0f", ios.P99, fm.P99)
+	}
+	renderBoth(t, r)
+}
+
+func TestAblWorkloadMixShape(t *testing.T) {
+	r, err := AblWorkloadMix(Options{Duration: 500 * sim.Millisecond, Warmup: 50 * sim.Millisecond, Parallel: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 3 {
+		t.Fatalf("rows = %d", len(r.Rows))
+	}
+	none, fm, ios := r.Rows[0], r.Rows[1], r.Rows[2]
+	// The headline: strict shares keep the latency tenant inside its SLO
+	// through the bulk bursts; pricing alone does not.
+	if ios.LatAttainPct < fm.LatAttainPct+20 {
+		t.Errorf("ioshares attainment %.1f%% not clearly above freemarket %.1f%%",
+			ios.LatAttainPct, fm.LatAttainPct)
+	}
+	if fm.LatAttainPct < none.LatAttainPct {
+		t.Errorf("freemarket attainment %.1f%% below unmanaged %.1f%%",
+			fm.LatAttainPct, none.LatAttainPct)
+	}
+	// Protection is paid for in bulk goodput.
+	if ios.BulkMBps >= none.BulkMBps {
+		t.Errorf("ioshares bulk %.1f MB/s not below unmanaged %.1f", ios.BulkMBps, none.BulkMBps)
+	}
+	// The closed-loop latency tenant turns lower latency into higher rate.
+	if ios.LatCompletedPerSec <= none.LatCompletedPerSec {
+		t.Errorf("ioshares lat %.0f req/s not above unmanaged %.0f",
+			ios.LatCompletedPerSec, none.LatCompletedPerSec)
+	}
+	renderBoth(t, r)
+}
+
+func TestAblWorkloadBurstShape(t *testing.T) {
+	r, err := AblWorkloadBurst(Options{Duration: 500 * sim.Millisecond, Warmup: 50 * sim.Millisecond, Parallel: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 8 { // 4 factors × 2 admission policies
+		t.Fatalf("rows = %d", len(r.Rows))
+	}
+	get := func(factor int, admission string) AblWorkloadBurstRow {
+		for _, row := range r.Rows {
+			if row.Factor == factor && row.Admission == admission {
+				return row
+			}
+		}
+		t.Fatalf("missing f=%d/%s", factor, admission)
+		return AblWorkloadBurstRow{}
+	}
+	// Same mean load, packed into ever-sharper bursts: p99 must climb.
+	prev := 0.0
+	for _, f := range []int{1, 2, 4, 8} {
+		row := get(f, "admit-all")
+		if row.P99 < prev {
+			t.Errorf("admit-all p99 %.0f at f=%d below %.0f at lower factor", row.P99, f, prev)
+		}
+		if row.ShedPct != 0 {
+			t.Errorf("admit-all shed %.1f%% at f=%d", row.ShedPct, f)
+		}
+		prev = row.P99
+	}
+	// The cap sheds the burst excess at the door and keeps the tail bounded.
+	capped, open := get(8, "queue-cap(32)"), get(8, "admit-all")
+	if capped.P99 > open.P99/2 {
+		t.Errorf("f=8: queue-cap p99 %.0f not well below admit-all %.0f", capped.P99, open.P99)
+	}
+	if capped.ShedPct <= 0 {
+		t.Error("f=8: queue-cap shed nothing")
+	}
+	renderBoth(t, r)
+}
+
+// TestAblWorkloadParallelDeterminism renders the same sweep at two
+// parallelism levels; per-point forked seeds make the outputs byte-identical.
+func TestAblWorkloadParallelDeterminism(t *testing.T) {
+	render := func(parallel int) string {
+		r, err := AblWorkload(Options{
+			Duration: 150 * sim.Millisecond, Warmup: 30 * sim.Millisecond,
+			Seed: 7, Parallel: parallel,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var b strings.Builder
+		if err := r.WriteText(&b); err != nil {
+			t.Fatal(err)
+		}
+		return b.String()
+	}
+	serial, parallel := render(1), render(8)
+	if serial != parallel {
+		t.Errorf("-parallel changed the output:\n--- serial ---\n%s--- parallel ---\n%s", serial, parallel)
 	}
 }

@@ -50,6 +50,12 @@ func init() {
 		func(o Options) (Result, error) { return AblPlacement(o) })
 	register("abl-faults", "Ablation: fault injection and graceful degradation",
 		func(o Options) (Result, error) { return AblFaults(o) })
+	register("abl-workload", "Workload: p99 latency vs offered load (open loop)",
+		func(o Options) (Result, error) { return AblWorkload(o) })
+	register("abl-workload-burst", "Workload: SLO attainment vs burstiness and shedding",
+		func(o Options) (Result, error) { return AblWorkloadBurst(o) })
+	register("abl-workload-mix", "Workload: mixed tenant classes, SLO attainment per policy",
+		func(o Options) (Result, error) { return AblWorkloadMix(o) })
 	register("softrt", "Extension: soft-real-time stream deadline misses",
 		func(o Options) (Result, error) { return SoftRT(o) })
 }

@@ -16,7 +16,10 @@ func RenderSVG(res experiments.Result) (string, error) {
 			"Figure 1: Request latency distribution",
 			"request service time (µs)",
 			[]*stats.Histogram{r.Normal, r.Interfered},
-			[]string{"Normal", "Interfered"},
+			[]string{
+				fmt.Sprintf("Normal (p99 %.0f µs)", r.Normal.Quantile(0.99)),
+				fmt.Sprintf("Interfered (p99 %.0f µs)", r.Interfered.Quantile(0.99)),
+			},
 		), nil
 
 	case *experiments.Fig2Result:
@@ -180,6 +183,47 @@ func RenderSVG(res experiments.Result) (string, error) {
 		}
 		return LineChart("Ablation: fault intensity vs SLA attainment",
 			"fault storms/s", "SLA attainment (%)", order), nil
+
+	case *experiments.AblWorkloadResult:
+		byPolicy := map[string]*stats.Series{}
+		var order []*stats.Series
+		for _, row := range r.Rows {
+			s := byPolicy[row.Policy]
+			if s == nil {
+				s = stats.NewSeries(row.Policy)
+				byPolicy[row.Policy] = s
+				order = append(order, s)
+			}
+			s.Add(float64(row.LoadPct), row.P99)
+		}
+		return LineChart("Workload: p99 latency vs offered load",
+			"offered load (% of capacity)", "p99 latency (µs)", order), nil
+
+	case *experiments.AblWorkloadMixResult:
+		groups := make([]string, 0, len(r.Rows))
+		vals := make([][]float64, 0, len(r.Rows))
+		for _, row := range r.Rows {
+			groups = append(groups, row.Policy)
+			vals = append(vals, []float64{row.LatAttainPct, row.BulkMBps / 10})
+		}
+		return GroupedBarChart("Workload: mixed tenant classes per policy",
+			"lat SLO attainment (%) / bulk goodput (10 MB/s)", groups,
+			[]string{"lat SLO %", "bulk 10MB/s"}, vals), nil
+
+	case *experiments.AblWorkloadBurstResult:
+		byAdmit := map[string]*stats.Series{}
+		var order []*stats.Series
+		for _, row := range r.Rows {
+			s := byAdmit[row.Admission]
+			if s == nil {
+				s = stats.NewSeries(row.Admission)
+				byAdmit[row.Admission] = s
+				order = append(order, s)
+			}
+			s.Add(float64(row.Factor), row.P99)
+		}
+		return LineChart("Workload: burstiness vs tail latency",
+			"burst factor (mean rate constant)", "p99 latency (µs)", order), nil
 
 	case *experiments.SoftRTResult:
 		groups := make([]string, 0, len(r.Rows))

@@ -64,6 +64,38 @@ func (h *Histogram) BucketLo(i int) float64 { return h.lo + float64(i)*h.width }
 // BucketMid returns the midpoint of bucket i.
 func (h *Histogram) BucketMid(i int) float64 { return h.lo + (float64(i)+0.5)*h.width }
 
+// Quantile returns the q-quantile (0 ≤ q ≤ 1) by cumulative walk over the
+// buckets with linear interpolation inside the landing bucket. Observations
+// in the underflow bin resolve to Lo and overflow to Hi (the histogram does
+// not know how far outside the range they fell). Empty histograms return 0.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h.total == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(h.total-1) // 0-based fractional rank
+	cum := float64(h.under)
+	if rank < cum {
+		return h.lo
+	}
+	for i, c := range h.buckets {
+		if c == 0 {
+			continue
+		}
+		if rank < cum+float64(c) {
+			within := (rank - cum + 0.5) / float64(c)
+			return h.BucketLo(i) + h.width*within
+		}
+		cum += float64(c)
+	}
+	return h.hi
+}
+
 // Mode returns the midpoint of the fullest bucket (0 when empty).
 func (h *Histogram) Mode() float64 {
 	best, bestCount := -1, int64(0)

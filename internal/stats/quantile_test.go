@@ -1,0 +1,176 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// sketchVsExact adds the same stream to a sketch and an exact Sample and
+// checks the sketch's quantiles stay within the promised relative error.
+func sketchVsExact(t *testing.T, name string, draw func() float64, n int, alpha float64) {
+	t.Helper()
+	sk := NewQuantileSketch(alpha)
+	ex := NewSample(n)
+	for i := 0; i < n; i++ {
+		x := draw()
+		sk.Add(x)
+		ex.Add(x)
+	}
+	for _, q := range []float64{0.5, 0.9, 0.99, 0.999} {
+		got, want := sk.Quantile(q), ex.Quantile(q)
+		if want <= 0 {
+			continue
+		}
+		// The sketch guarantees α relative error per observation; allow a
+		// little extra for the rank-interpolation difference vs Sample.
+		if rel := math.Abs(got-want) / want; rel > 1.5*alpha {
+			t.Errorf("%s p%g: sketch %.4f vs exact %.4f (rel err %.4f > %.4f)",
+				name, q*100, got, want, rel, 1.5*alpha)
+		}
+	}
+}
+
+func TestQuantileSketchErrorBounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	sketchVsExact(t, "uniform", func() float64 { return rng.Float64()*999 + 1 }, 100000, DefaultSketchAlpha)
+	sketchVsExact(t, "lognormal", func() float64 { return math.Exp(rng.NormFloat64()*1.5 + 5) }, 100000, DefaultSketchAlpha)
+	sketchVsExact(t, "exp", func() float64 { return rng.ExpFloat64() * 250 }, 100000, 0.02)
+}
+
+func TestQuantileSketchMergeAssociative(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	build := func(n int, scale float64) *QuantileSketch {
+		s := NewQuantileSketch(0)
+		for i := 0; i < n; i++ {
+			s.Add(rng.ExpFloat64() * scale)
+		}
+		return s
+	}
+	a, b, c := build(5000, 100), build(3000, 1000), build(500, 10)
+
+	clone := func(s *QuantileSketch) *QuantileSketch {
+		out := NewQuantileSketch(s.Alpha())
+		out.Merge(s)
+		return out
+	}
+	// ((a ⊕ b) ⊕ c)
+	left := clone(a)
+	left.Merge(b)
+	left.Merge(c)
+	// (a ⊕ (b ⊕ c))
+	bc := clone(b)
+	bc.Merge(c)
+	right := clone(a)
+	right.Merge(bc)
+	// ((c ⊕ a) ⊕ b): commuted order as well
+	ca := clone(c)
+	ca.Merge(a)
+	ca.Merge(b)
+
+	if left.Count() != right.Count() || left.Count() != ca.Count() {
+		t.Fatalf("counts diverge: %d %d %d", left.Count(), right.Count(), ca.Count())
+	}
+	for _, q := range []float64{0, 0.1, 0.5, 0.9, 0.99, 0.999, 1} {
+		l, r, x := left.Quantile(q), right.Quantile(q), ca.Quantile(q)
+		if l != r || l != x {
+			t.Errorf("p%g: merge order changed estimate: %v %v %v", q*100, l, r, x)
+		}
+	}
+}
+
+func TestQuantileSketchInsertionOrderInvariant(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	xs := make([]float64, 10000)
+	for i := range xs {
+		xs[i] = rng.ExpFloat64() * 500
+	}
+	fwd, shuf := NewQuantileSketch(0), NewQuantileSketch(0)
+	for _, x := range xs {
+		fwd.Add(x)
+	}
+	perm := rng.Perm(len(xs))
+	for _, i := range perm {
+		shuf.Add(xs[i])
+	}
+	for _, q := range []float64{0.25, 0.5, 0.95, 0.999} {
+		if a, b := fwd.Quantile(q), shuf.Quantile(q); a != b {
+			t.Errorf("p%g: insertion order changed estimate: %v vs %v", q*100, a, b)
+		}
+	}
+}
+
+func TestQuantileSketchEdgeCases(t *testing.T) {
+	s := NewQuantileSketch(0)
+	if s.Quantile(0.5) != 0 || s.Count() != 0 {
+		t.Fatal("empty sketch should report zero")
+	}
+	s.Add(-3)
+	s.Add(0)
+	s.Add(10)
+	if s.Count() != 3 {
+		t.Fatalf("count = %d", s.Count())
+	}
+	if got := s.Quantile(0); got != -3 {
+		t.Errorf("p0 = %v, want min -3", got)
+	}
+	if got := s.Quantile(0.5); got != 0 {
+		t.Errorf("p50 = %v, want zero bucket", got)
+	}
+	if got := s.Quantile(1); got != 10 {
+		t.Errorf("p100 = %v, want max clamp 10", got)
+	}
+	s.Reset()
+	if s.Count() != 0 || s.Quantile(0.9) != 0 {
+		t.Error("reset did not clear sketch")
+	}
+	one := NewQuantileSketch(0)
+	one.Add(123.4)
+	for _, q := range []float64{0, 0.5, 1} {
+		if got := one.Quantile(q); got != 123.4 {
+			t.Errorf("single-value sketch p%g = %v", q*100, got)
+		}
+	}
+}
+
+func TestQuantileSketchMergeAlphaMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("merging sketches with different alpha should panic")
+		}
+	}()
+	a, b := NewQuantileSketch(0.01), NewQuantileSketch(0.02)
+	b.Add(1)
+	a.Merge(b)
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	h := NewHistogram(0, 100, 100)
+	for i := 0; i < 1000; i++ {
+		h.Add(float64(i%100) + 0.5)
+	}
+	if got := h.Quantile(0.5); math.Abs(got-50) > 1.5 {
+		t.Errorf("p50 = %v, want ~50", got)
+	}
+	if got := h.Quantile(0.99); math.Abs(got-99) > 1.5 {
+		t.Errorf("p99 = %v, want ~99", got)
+	}
+	if got := h.Quantile(0); got > 1 {
+		t.Errorf("p0 = %v, want ~0", got)
+	}
+
+	// Out-of-range mass clamps to the bounds.
+	c := NewHistogram(10, 20, 10)
+	c.Add(5)
+	c.Add(25)
+	if got := c.Quantile(0); got != 10 {
+		t.Errorf("underflow quantile = %v, want lo", got)
+	}
+	if got := c.Quantile(1); got != 20 {
+		t.Errorf("overflow quantile = %v, want hi", got)
+	}
+	var empty Histogram
+	if (&empty).Quantile(0.5) != 0 {
+		t.Error("empty histogram quantile should be 0")
+	}
+}

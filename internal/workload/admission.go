@@ -1,0 +1,69 @@
+package workload
+
+import (
+	"fmt"
+
+	"resex/internal/sim"
+)
+
+// AdmitState is the snapshot an admission hook sees for each open-loop
+// arrival.
+type AdmitState struct {
+	// Now is the arrival's virtual time.
+	Now sim.Time
+	// QueueLen counts admitted arrivals not yet posted.
+	QueueLen int
+	// Inflight counts posted requests awaiting responses.
+	Inflight int
+	// Window is the tenant's in-flight bound.
+	Window int
+	// OldestWaitUs is how long (µs) the head of the queue has waited
+	// (0 when the queue is empty).
+	OldestWaitUs float64
+}
+
+// Admission decides, per open-loop arrival, whether the request enters the
+// tenant's queue or is shed on the spot. Shedding trades completed work for
+// bounded latency: everything still admitted sees a short queue, and the
+// SLO ledger counts the shed arrivals separately.
+type Admission interface {
+	// Name identifies the policy in reports.
+	Name() string
+	// Admit returns false to shed the arrival.
+	Admit(s AdmitState) bool
+}
+
+// AdmitAll is the default policy: never sheds.
+type AdmitAll struct{}
+
+// Name implements Admission.
+func (AdmitAll) Name() string { return "admit-all" }
+
+// Admit implements Admission.
+func (AdmitAll) Admit(AdmitState) bool { return true }
+
+// QueueCap sheds arrivals once the client backlog reaches Max — the classic
+// bounded-queue load shedder. Under sustained overload it converts unbounded
+// queueing delay into a constant shed rate.
+type QueueCap struct {
+	Max int
+}
+
+// Name implements Admission.
+func (q QueueCap) Name() string { return fmt.Sprintf("queue-cap(%d)", q.Max) }
+
+// Admit implements Admission.
+func (q QueueCap) Admit(s AdmitState) bool { return s.QueueLen < q.Max }
+
+// DeadlineShed sheds while the head of the queue has already waited longer
+// than MaxWaitUs: by then every arrival behind it is doomed to miss too, so
+// adding more work only deepens the outage.
+type DeadlineShed struct {
+	MaxWaitUs float64
+}
+
+// Name implements Admission.
+func (d DeadlineShed) Name() string { return fmt.Sprintf("deadline-shed(%gus)", d.MaxWaitUs) }
+
+// Admit implements Admission.
+func (d DeadlineShed) Admit(s AdmitState) bool { return s.OldestWaitUs <= d.MaxWaitUs }

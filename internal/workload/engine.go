@@ -1,0 +1,225 @@
+package workload
+
+import (
+	"fmt"
+
+	"resex/internal/benchex"
+	"resex/internal/cluster"
+	"resex/internal/ibmon"
+	"resex/internal/resex"
+	"resex/internal/sim"
+)
+
+// Config parameterizes a traffic engine.
+type Config struct {
+	// Hosts is the number of worker (server) hosts, nodes 1..Hosts. One
+	// extra client host (node Hosts+1) runs every tenant's client with a
+	// link scaled by Hosts so the client side never bottlenecks. Default 1.
+	Hosts int
+	// PCPUsPerHost sizes the workers. Default 8 (7 guest slots + dom0).
+	PCPUsPerHost int
+	// ClientPCPUs sizes the client host; it must hold one VM per tenant.
+	// Default 32.
+	ClientPCPUs int
+	// LinkBandwidth is the per-worker uplink, bytes/second. Default 1 GB/s.
+	LinkBandwidth float64
+	// Policy builds the per-host ResEx pricing policy. Nil leaves the
+	// hosts unmanaged — no monitor, no manager, raw interference.
+	Policy func() resex.Policy
+	// IntervalsPerEpoch shortens the ResEx epoch so managed runs converge
+	// inside short simulations. Default 250 (250 ms epochs).
+	IntervalsPerEpoch int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Hosts <= 0 {
+		c.Hosts = 1
+	}
+	if c.PCPUsPerHost <= 0 {
+		c.PCPUsPerHost = 8
+	}
+	if c.ClientPCPUs <= 0 {
+		c.ClientPCPUs = 32
+	}
+	if c.LinkBandwidth <= 0 {
+		c.LinkBandwidth = 1e9
+	}
+	if c.IntervalsPerEpoch <= 0 {
+		c.IntervalsPerEpoch = 250
+	}
+	return c
+}
+
+// Engine is the assembled multi-tenant rig: worker hosts (each optionally
+// under its own IBMon monitor + ResEx manager), a shared client host, and
+// the tenants driving traffic between them.
+type Engine struct {
+	TB      *cluster.Testbed
+	Client  *cluster.Host
+	Workers []*cluster.Host
+	Mons    []*ibmon.Monitor
+	Mgrs    []*resex.Manager
+
+	cfg     Config
+	tenants []*Tenant
+	servers []*benchex.Server
+	agents  []*benchex.Agent
+	started bool
+}
+
+// New assembles the testbed: workers on nodes 1..Hosts, the client host on
+// node Hosts+1, and (when a policy is configured) one monitor and manager
+// per worker, already started.
+func New(cfg Config) *Engine {
+	cfg = cfg.withDefaults()
+	tb := cluster.New(cluster.Config{
+		Hosts:         cfg.Hosts,
+		LinkBandwidth: cfg.LinkBandwidth,
+		PCPUsPerHost:  cfg.PCPUsPerHost,
+	})
+	e := &Engine{
+		TB: tb,
+		Client: tb.AddHostOpts(cfg.Hosts+1, cluster.HostOptions{
+			LinkBandwidth: cfg.LinkBandwidth * float64(cfg.Hosts),
+			PCPUs:         cfg.ClientPCPUs,
+		}),
+		cfg: cfg,
+	}
+	for n := 1; n <= cfg.Hosts; n++ {
+		h := tb.Host(n)
+		e.Workers = append(e.Workers, h)
+		if cfg.Policy == nil {
+			continue
+		}
+		mon := ibmon.New(h.HV, h.Dom0VCPU(), ibmon.Config{MTU: tb.Config().MTU})
+		mon.Start(tb.Eng)
+		mgr := resex.New(tb.Eng, h.HV, mon, h.Dom0VCPU(), cfg.Policy(),
+			resex.Config{IntervalsPerEpoch: cfg.IntervalsPerEpoch})
+		mgr.Start()
+		e.Mons = append(e.Mons, mon)
+		e.Mgrs = append(e.Mgrs, mgr)
+	}
+	return e
+}
+
+// Config returns the effective configuration.
+func (e *Engine) Config() Config { return e.cfg }
+
+// Tenants returns every tenant in AddTenant order.
+func (e *Engine) Tenants() []*Tenant { return e.tenants }
+
+// AddTenant boots one tenant: a server VM on a worker host (round-robin by
+// tenant index), a client VM on the client host, the connected QP pair, and
+// — on managed hosts — registration with the host's ResEx manager plus an
+// in-VM latency agent. If the engine is already running the tenant starts
+// immediately.
+func (e *Engine) AddTenant(spec TenantSpec) (*Tenant, error) {
+	spec = spec.withDefaults()
+	if spec.Name == "" {
+		spec.Name = fmt.Sprintf("tenant%d", len(e.tenants))
+	}
+	if spec.Arrivals != nil && !(spec.Arrivals.RatePerSec() > 0) {
+		return nil, fmt.Errorf("workload: tenant %q arrival process %s has non-positive rate", spec.Name, spec.Arrivals.Name())
+	}
+
+	hostIdx := len(e.tenants) % len(e.Workers)
+	h := e.Workers[hostIdx]
+	serverVM := h.NewVM(spec.Name + "-server-vm")
+	server := benchex.NewServer(e.TB.Eng, serverVM.VCPU, serverVM.PD, benchex.ServerConfig{
+		Name:              spec.Name + "-server",
+		BufferSize:        spec.BufferSize,
+		ProcessTime:       spec.ProcessTime,
+		PipelineResponses: spec.PipelineServer,
+		RecvSlots:         spec.Window + 2,
+		// Open-loop tenants leave real idle gaps; without the idle-aware
+		// clock those gaps read as service latency and the in-VM agent
+		// reports phantom SLA violations at light load. Closed-loop tenants
+		// keep the paper's original accounting: with a request always in
+		// flight, PTime spans the client turnaround and request transit, so
+		// fabric congestion in either direction reaches the agent's report —
+		// the signal ResEx's detection was designed around.
+		IdleAwareService: spec.Arrivals != nil,
+	})
+
+	clientVM := e.Client.NewVM(spec.Name + "-client-vm")
+	t, err := newTenant(e.TB.Eng, clientVM.VCPU, clientVM.PD, spec)
+	if err != nil {
+		return nil, err
+	}
+	t.HostIdx = hostIdx
+
+	sqp, err := server.NewEndpoint()
+	if err != nil {
+		return nil, err
+	}
+	if err := cluster.ConnectQPs(sqp, t.Endpoint(), h, e.Client); err != nil {
+		return nil, err
+	}
+
+	var agent *benchex.Agent
+	if len(e.Mgrs) > 0 {
+		dom := serverVM.Dom
+		if _, err := e.Mgrs[hostIdx].ManageCQs(dom, h.Backend.CQsOf(dom.ID()), spec.SLAUs); err != nil {
+			return nil, err
+		}
+		// Only SLA-backed tenants run the in-VM reporting agent. A tenant
+		// without an SLA reference (bulk movers) is still managed — its MTU
+		// rate is visible to attribution and its VCPU can be capped — but it
+		// never reports latency, so its own queueing (an MMPP burst draining
+		// through a 2 ms/request server) can't read as interference and get a
+		// co-tenant throttled. Same asymmetry as the paper's scenario: victims
+		// are self-declared via reports, culprits are found by attribution.
+		if spec.SLAUs > 0 {
+			agent = benchex.NewAgent(server, dom.ID(), e.Mgrs[hostIdx], benchex.AgentConfig{})
+			e.agents = append(e.agents, agent)
+		}
+	}
+
+	e.tenants = append(e.tenants, t)
+	e.servers = append(e.servers, server)
+	if e.started {
+		server.Start()
+		if agent != nil {
+			agent.Start()
+		}
+		t.start()
+	}
+	return t, nil
+}
+
+// Start launches every server, agent and tenant driver.
+func (e *Engine) Start() {
+	if e.started {
+		return
+	}
+	e.started = true
+	for _, s := range e.servers {
+		s.Start()
+	}
+	for _, a := range e.agents {
+		a.Start()
+	}
+	for _, t := range e.tenants {
+		t.start()
+	}
+}
+
+// RunMeasured starts the engine, runs the warmup, resets every tenant's
+// measurements, runs the measured duration, and shuts the simulation down.
+func (e *Engine) RunMeasured(warmup, duration sim.Time) {
+	e.Start()
+	e.TB.Eng.RunUntil(e.TB.Eng.Now() + warmup)
+	for _, t := range e.tenants {
+		t.ResetStats()
+	}
+	e.TB.Eng.RunUntil(e.TB.Eng.Now() + duration)
+	e.Shutdown()
+}
+
+// Shutdown stops every tenant and kills all simulation processes.
+func (e *Engine) Shutdown() {
+	for _, t := range e.tenants {
+		t.stop()
+	}
+	e.TB.Eng.Shutdown()
+}

@@ -1,0 +1,135 @@
+// Package workload is the multi-tenant traffic engine: the layer that turns
+// the repository's microbenchmark substrate into realistic offered load.
+//
+// Each tenant is one application — a BenchEx server VM on a worker host and
+// a custom client VM on the shared client host — whose requests travel the
+// full simulated path: the client's VCPU builds and posts the request on its
+// VM's HCA, the fabric carries it through the switch onto the server host's
+// downlink, the server VM's CPU-gated serve loop processes it, and the
+// response returns through the client's completion queue. ResEx caps on the
+// server VM, link congestion, and Xen scheduling therefore all shape the
+// end-to-end latency a tenant measures — which is the point: policies like
+// FreeMarket and IOShares only differentiate once arrivals press against
+// capacity, and this engine is what generates that pressure.
+//
+// Tenants are driven either open loop — an ArrivalProcess (Poisson, MMPP
+// bursts, diurnal modulation) generates arrivals regardless of how the
+// system keeps up, the litmus test for saturation behavior — or closed loop,
+// where Concurrency simulated users each wait for their response and think
+// before the next request. Open-loop latencies are measured from *arrival*,
+// not from post: a request that sat in the client queue because the window
+// was full carries that wait in its latency, so saturation produces the
+// textbook hockey stick instead of being hidden by the issue window
+// (coordinated omission).
+//
+// Per-tenant SLOSpecs (p50/p99/p999 targets) are scored as time-weighted
+// attainment over fixed evaluation windows, and a pluggable Admission hook
+// can shed arrivals before they enter the queue. Unlike benchex.Client,
+// which busy-polls its completion queue, the tenant driver is event-driven
+// (completions wake it through the CQ signal), so one client VCPU can pace
+// thousands of arrivals per second without burning its host.
+package workload
+
+import "resex/internal/sim"
+
+// ClosedLoop shapes a closed-loop tenant: a fixed population of simulated
+// users, each issuing one request, waiting for the response, thinking, and
+// repeating.
+type ClosedLoop struct {
+	// Concurrency is the user population (max requests a closed-loop
+	// tenant can have admitted at once). Default 1.
+	Concurrency int
+	// Think is the delay between receiving a response and issuing the
+	// user's next request. Zero = back-to-back.
+	Think sim.Time
+	// ThinkExp draws think times exponentially with mean Think instead of
+	// using the fixed value.
+	ThinkExp bool
+}
+
+// TenantSpec declares one tenant of the traffic engine.
+type TenantSpec struct {
+	// Name labels the tenant everywhere (VM names, reports, resextop).
+	Name string
+	// BufferSize is the request/response size in bytes. Default 64 KB.
+	BufferSize int
+	// Arrivals, when set, drives the tenant open loop: the process
+	// generates arrival times regardless of completions. Nil selects the
+	// closed loop configured by Closed.
+	Arrivals ArrivalProcess
+	// Closed configures the closed loop when Arrivals is nil.
+	Closed ClosedLoop
+	// Window bounds posted-but-uncompleted requests (the RDMA pipeline
+	// depth). Open-loop default 8; closed-loop default Concurrency.
+	// Arrivals beyond the window queue in the client — where their wait
+	// still counts toward measured latency.
+	Window int
+	// SLO declares the tenant's latency objectives and evaluation window.
+	SLO SLOSpec
+	// Admission is consulted for every open-loop arrival before it enters
+	// the queue; rejected arrivals are counted as shed and never issued.
+	// Default AdmitAll. Closed-loop arrivals bypass admission — shedding a
+	// closed-loop user would silently shrink the population forever.
+	Admission Admission
+	// SLAUs is the latency reference (µs) handed to the host's ResEx
+	// manager; 0 lets the policy learn a baseline (bulk tenants).
+	SLAUs float64
+	// LatencySensitive marks the tenant for reporting (mirrors the
+	// placement layer's classification).
+	LatencySensitive bool
+	// ProcessTime overrides the server's per-request CPU; 0 scales with
+	// BufferSize as in benchex.
+	ProcessTime sim.Time
+	// PipelineServer makes the server fire-and-forget its responses (bulk
+	// movers that keep the link saturated).
+	PipelineServer bool
+	// PrepTime is client CPU per request build (default 5 µs), jittered by
+	// ±PrepJitter (default 0.1) against phase-locking.
+	PrepTime   sim.Time
+	PrepJitter float64
+	// InterruptCost is client CPU per reaped completion — the event-driven
+	// wakeup price (default 2 µs; negative disables).
+	InterruptCost sim.Time
+	// Seed drives the tenant's private RNG (arrivals, think times, jitter)
+	// and its request generator. Default 1.
+	Seed int64
+}
+
+func (s TenantSpec) withDefaults() TenantSpec {
+	if s.BufferSize <= 0 {
+		s.BufferSize = 64 << 10
+	}
+	if s.Arrivals == nil && s.Closed.Concurrency <= 0 {
+		s.Closed.Concurrency = 1
+	}
+	if s.Window <= 0 {
+		if s.Arrivals == nil {
+			s.Window = s.Closed.Concurrency
+		} else {
+			s.Window = 8
+		}
+	}
+	s.SLO = s.SLO.withDefaults()
+	if s.Admission == nil {
+		s.Admission = AdmitAll{}
+	}
+	if s.PrepTime <= 0 {
+		s.PrepTime = 5 * sim.Microsecond
+	}
+	if s.PrepJitter == 0 {
+		s.PrepJitter = 0.1
+	}
+	if s.PrepJitter < 0 {
+		s.PrepJitter = 0
+	}
+	if s.InterruptCost == 0 {
+		s.InterruptCost = 2 * sim.Microsecond
+	}
+	if s.InterruptCost < 0 {
+		s.InterruptCost = 0
+	}
+	if s.Seed == 0 {
+		s.Seed = 1
+	}
+	return s
+}

@@ -1,0 +1,232 @@
+package workload
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"resex/internal/resex"
+	"resex/internal/sim"
+)
+
+// meanRate draws n gaps and returns the empirical arrivals/s.
+func meanRate(t *testing.T, p ArrivalProcess, n int) float64 {
+	t.Helper()
+	rng := sim.NewRand(42)
+	var now, total sim.Time
+	for i := 0; i < n; i++ {
+		g := p.Gap(rng, now)
+		if g <= 0 {
+			t.Fatalf("%s: non-positive gap %v", p.Name(), g)
+		}
+		now += g
+		total += g
+	}
+	return float64(n) / total.Seconds()
+}
+
+func TestArrivalProcessRates(t *testing.T) {
+	cases := []struct {
+		p    ArrivalProcess
+		want float64
+	}{
+		{Fixed{Interval: 100 * sim.Microsecond}, 10000},
+		{Poisson{Rate: 5000}, 5000},
+		{&MMPP2{CalmRate: 1000, BurstRate: 8000, CalmDwell: 30 * sim.Millisecond, BurstDwell: 10 * sim.Millisecond}, 0},
+		{Diurnal{MeanRate: 3000, Amplitude: 0.6, Period: 200 * sim.Millisecond}, 3000},
+	}
+	cases[2].want = cases[2].p.RatePerSec() // dwell-weighted: (1000·30+8000·10)/40 = 2750
+	if got := cases[2].want; math.Abs(got-2750) > 1e-9 {
+		t.Fatalf("MMPP2 RatePerSec = %g, want 2750", got)
+	}
+	for _, c := range cases {
+		if got := c.p.RatePerSec(); math.Abs(got-c.want) > 1e-9 {
+			t.Errorf("%s: RatePerSec = %g, want %g", c.p.Name(), got, c.want)
+		}
+		emp := meanRate(t, c.p, 200000)
+		if math.Abs(emp-c.want)/c.want > 0.05 {
+			t.Errorf("%s: empirical rate %.0f/s, want within 5%% of %g", c.p.Name(), emp, c.want)
+		}
+	}
+}
+
+func TestDiurnalModulation(t *testing.T) {
+	d := Diurnal{MeanRate: 4000, Amplitude: 0.8, Period: 100 * sim.Millisecond}
+	// Peak at t = Period/4, trough at 3·Period/4.
+	peak := d.RateAt(d.Period / 4)
+	trough := d.RateAt(3 * d.Period / 4)
+	if math.Abs(peak-7200) > 1 || math.Abs(trough-800) > 1 {
+		t.Fatalf("RateAt: peak %.0f trough %.0f, want 7200/800", peak, trough)
+	}
+	// Count arrivals per quarter-cycle over many cycles: the peak quarter
+	// must see several times the trough quarter's traffic.
+	rng := sim.NewRand(7)
+	quarter := d.Period / 4
+	counts := [4]int{}
+	var now sim.Time
+	for now < 200*d.Period {
+		now += d.Gap(rng, now)
+		counts[(now%d.Period)/quarter]++
+	}
+	if counts[0] <= counts[2] || float64(counts[0]) < 2*float64(counts[2]) {
+		t.Errorf("quarter counts %v: peak quarter should dominate trough", counts)
+	}
+}
+
+func TestSLOTrackerWindows(t *testing.T) {
+	tr := newSLOTracker(SLOSpec{P99Us: 100, Window: 10 * sim.Millisecond}.withDefaults())
+	w := 10 * sim.Millisecond
+
+	// Window 1: all fast — attained.
+	for i := 0; i < 100; i++ {
+		tr.observe(50)
+	}
+	tr.endWindow(w, 0, false)
+	// Window 2: tail blows the target — violated.
+	for i := 0; i < 99; i++ {
+		tr.observe(50)
+	}
+	for i := 0; i < 5; i++ {
+		tr.observe(500)
+	}
+	tr.endWindow(2*w, 0, false)
+	// Window 3: nothing completed, oldest waiting request far past the
+	// bound — stall, violated.
+	tr.endWindow(3*w, 2*w, true)
+	// Window 4: nothing completed, nothing waiting — idle, attained.
+	tr.endWindow(4*w, 0, false)
+
+	if got := tr.attainment(); math.Abs(got-50) > 1e-9 {
+		t.Fatalf("attainment = %g, want 50 (2 of 4 windows)", got)
+	}
+	tr.reset(4 * w)
+	if got := tr.attainment(); got != 100 {
+		t.Fatalf("attainment after reset = %g, want 100", got)
+	}
+}
+
+func TestAdmissionPolicies(t *testing.T) {
+	if !(AdmitAll{}).Admit(AdmitState{QueueLen: 1 << 20}) {
+		t.Error("AdmitAll rejected")
+	}
+	q := QueueCap{Max: 4}
+	if !q.Admit(AdmitState{QueueLen: 3}) || q.Admit(AdmitState{QueueLen: 4}) {
+		t.Error("QueueCap boundary wrong")
+	}
+	d := DeadlineShed{MaxWaitUs: 200}
+	if !d.Admit(AdmitState{OldestWaitUs: 199}) || d.Admit(AdmitState{OldestWaitUs: 201}) {
+		t.Error("DeadlineShed boundary wrong")
+	}
+}
+
+// runPair boots a two-tenant engine, runs it measured, and returns stats.
+func runPair(policy func() resex.Policy, seed int64) [2]TenantStats {
+	e := New(Config{Hosts: 1, ClientPCPUs: 8, Policy: policy})
+	for i := 0; i < 2; i++ {
+		_, err := e.AddTenant(TenantSpec{
+			Name:     fmt.Sprintf("t%d", i),
+			Arrivals: Poisson{Rate: 1500},
+			Window:   8,
+			SLO:      SLOSpec{P99Us: 960},
+			Seed:     seed + int64(i),
+		})
+		if err != nil {
+			panic(err)
+		}
+	}
+	e.RunMeasured(50*sim.Millisecond, 300*sim.Millisecond)
+	return [2]TenantStats{e.Tenants()[0].Stats(), e.Tenants()[1].Stats()}
+}
+
+func TestEngineEndToEnd(t *testing.T) {
+	got := runPair(nil, 11)
+	for i, st := range got {
+		if st.Completed < 300 {
+			t.Fatalf("tenant %d: only %d completions in 300ms at 1500/s offered", i, st.Completed)
+		}
+		// Light load on an idle host: end-to-end latency should sit near the
+		// unmanaged baseline (~234µs for 64KB), far under a millisecond.
+		if st.Latency.Mean() < 100 || st.Latency.Mean() > 1000 {
+			t.Errorf("tenant %d: mean latency %.0fµs out of expected envelope", i, st.Latency.Mean())
+		}
+		if st.P99 < st.P50 {
+			t.Errorf("tenant %d: p99 %.0f < p50 %.0f", i, st.P99, st.P50)
+		}
+		if st.OfferedPerSec < 1200 || st.OfferedPerSec > 1800 {
+			t.Errorf("tenant %d: offered %.0f/s, want ≈1500", i, st.OfferedPerSec)
+		}
+	}
+}
+
+func TestEngineDeterminism(t *testing.T) {
+	ios := func() resex.Policy { return resex.NewIOShares() }
+	a := runPair(ios, 23)
+	b := runPair(ios, 23)
+	if a != b {
+		t.Fatalf("same-seed runs diverged:\n%+v\n%+v", a, b)
+	}
+	c := runPair(ios, 24)
+	if a == c {
+		t.Fatalf("different seeds produced identical stats (suspicious): %+v", a)
+	}
+}
+
+func TestClosedLoopConcurrency(t *testing.T) {
+	e := New(Config{Hosts: 1, ClientPCPUs: 8})
+	tn, err := e.AddTenant(TenantSpec{
+		Name:   "closed",
+		Closed: ClosedLoop{Concurrency: 4},
+		Seed:   5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.RunMeasured(20*sim.Millisecond, 200*sim.Millisecond)
+	st := tn.Stats()
+	if st.Completed == 0 {
+		t.Fatal("closed loop completed nothing")
+	}
+	// Concurrency 4 with zero think time keeps the pipe full: throughput
+	// should be several times a single synchronous client's.
+	if st.Queued+st.Inflight > 4 {
+		t.Errorf("more work outstanding (%d+%d) than concurrency 4", st.Queued, st.Inflight)
+	}
+	// Little's law cross-check: completions/s × mean latency ≈ concurrency.
+	occ := st.CompletedPerSec * st.Latency.Mean() / 1e6
+	if occ < 2 || occ > 4.5 {
+		t.Errorf("Little's-law occupancy %.2f, want ≈4", occ)
+	}
+}
+
+func TestQueueCapSheds(t *testing.T) {
+	e := New(Config{Hosts: 1, ClientPCPUs: 8})
+	// ~4300/s capacity for 64KB FCFS; offer 3× that with a tight queue cap.
+	tn, err := e.AddTenant(TenantSpec{
+		Name:      "hot",
+		Arrivals:  Poisson{Rate: 12000},
+		Window:    8,
+		Admission: QueueCap{Max: 16},
+		SLO:       SLOSpec{P99Us: 960},
+		Seed:      9,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.RunMeasured(50*sim.Millisecond, 300*sim.Millisecond)
+	st := tn.Stats()
+	if st.Shed == 0 {
+		t.Fatal("overloaded tenant with queue cap shed nothing")
+	}
+	if st.Queued > 16 {
+		t.Errorf("queue %d exceeds cap 16", st.Queued)
+	}
+	// Shedding bounds queueing delay: worst case ≈ (cap+window)/service rate,
+	// a few ms — not the unbounded backlog an admit-all tenant would build.
+	if st.P99 > 10000 {
+		t.Errorf("p99 %.0fµs despite queue cap", st.P99)
+	}
+	shedPct := 100 * float64(st.Shed) / float64(st.Arrivals)
+	if shedPct < 20 {
+		t.Errorf("shed only %.1f%% at 3x overload", shedPct)
+	}
+}
