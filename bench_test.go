@@ -13,6 +13,7 @@ import (
 	"resex/internal/fabric"
 	"resex/internal/faults"
 	"resex/internal/ibmon"
+	"resex/internal/invariant"
 	"resex/internal/resex"
 	"resex/internal/sim"
 )
@@ -582,3 +583,83 @@ func BenchmarkAblWorkload(b *testing.B) { runFigure(b, "abl-workload") }
 // BenchmarkAblWorkloadMix runs the mixed-class scenario (unmanaged,
 // FreeMarket, IOShares) once per iteration.
 func BenchmarkAblWorkloadMix(b *testing.B) { runFigure(b, "abl-workload-mix") }
+
+// ---------------------------------------------------------------------------
+// Invariant auditor: hot-loop overhead budget.
+// ---------------------------------------------------------------------------
+
+// BenchmarkAuditOverhead measures what -audit costs the hot event loop —
+// the per-event stride mask plus the sampled predicate passes — on the full
+// ResEx/IOShares interference scenario (the same rig `benchex -intf-buffer
+// 2MB -policy ioshares -audit` runs), against the ≤2% budget. Same-process
+// paired minima, alternating order, exactly like the faults overhead gate:
+// batch-to-batch wall-clock comparisons on a shared machine drown a
+// few-percent effect in noise, while the paired minimum strips it. The
+// timings land in BENCH_invariant.json.
+func BenchmarkAuditOverhead(b *testing.B) {
+	run := func(audited bool) time.Duration {
+		s, err := experiments.Build(experiments.ScenarioConfig{
+			IntfBuffer: experiments.IntfBuffer,
+			Policy:     resex.NewIOShares(),
+			SLAUs:      experiments.BaseSLAUs,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		var closeAudit func()
+		if audited {
+			a := invariant.New(s.TB.Eng, invariant.NewCollector(invariant.Audit))
+			for _, h := range s.TB.Hosts {
+				a.WatchXen(h.HV)
+				a.WatchHCA(h.HCA)
+			}
+			if s.Mgr != nil {
+				a.WatchManager(s.Mgr)
+			}
+			closeAudit = a.Close
+		}
+		s.Start()
+		start := time.Now()
+		s.TB.Eng.RunUntil(sim.Second)
+		elapsed := time.Since(start)
+		if closeAudit != nil {
+			closeAudit()
+		}
+		s.Shutdown()
+		return elapsed
+	}
+	min := func(a, b time.Duration) time.Duration {
+		if b < a {
+			return b
+		}
+		return a
+	}
+	base, audited := time.Duration(1<<62), time.Duration(1<<62)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if i%2 == 0 {
+			base = min(base, run(false))
+			audited = min(audited, run(true))
+		} else {
+			audited = min(audited, run(true))
+			base = min(base, run(false))
+		}
+	}
+	b.StopTimer()
+	overhead := 100 * (audited.Seconds() - base.Seconds()) / base.Seconds()
+	b.ReportMetric(overhead, "overhead_%")
+	out, err := json.MarshalIndent(map[string]any{
+		"benchmark":             "BenchmarkAuditOverhead",
+		"iterations":            b.N,
+		"baseline_ns_per_sim_s": base.Nanoseconds(),
+		"audited_ns_per_sim_s":  audited.Nanoseconds(),
+		"overhead_pct":          overhead,
+		"budget_pct":            2.0,
+	}, "", "  ")
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := os.WriteFile("BENCH_invariant.json", append(out, '\n'), 0o644); err != nil {
+		b.Fatal(err)
+	}
+}

@@ -21,6 +21,7 @@ import (
 	"time"
 
 	"resex/internal/experiments"
+	"resex/internal/invariant"
 	"resex/internal/resex"
 	"resex/internal/sim"
 )
@@ -51,6 +52,7 @@ func main() {
 		policy   = flag.String("policy", "", "ResEx policy: freemarket or ioshares (empty = no ResEx)")
 		duration = flag.Duration("duration", 2*time.Second, "measured virtual time")
 		seed     = flag.Int64("seed", 0, "workload seed offset")
+		audit    = flag.Bool("audit", false, "run the invariant auditor alongside the benchmark (summary on stderr; this is how BENCH_invariant.json's overhead is measured)")
 	)
 	flag.Parse()
 
@@ -88,10 +90,21 @@ func main() {
 	runtime.GC()
 	var m0, m1 runtime.MemStats
 	runtime.ReadMemStats(&m0)
+	opts := experiments.Options{Duration: sim.Time(duration.Nanoseconds())}
+	var col *invariant.Collector
+	if *audit {
+		col = invariant.NewCollector(invariant.Audit)
+		opts.Audit = col
+	}
 	wallStart := time.Now()
-	s.RunMeasured(experiments.Options{Duration: sim.Time(duration.Nanoseconds())})
+	s.RunMeasured(opts)
 	wall := time.Since(wallStart)
 	runtime.ReadMemStats(&m1)
+	if col != nil {
+		if err := col.WriteText(os.Stderr); err != nil {
+			fmt.Fprintln(os.Stderr, "benchex:", err)
+		}
+	}
 	if events := s.TB.Eng.Steps(); events > 0 {
 		fmt.Fprintf(os.Stderr, "sim core: %d events, %.1f ns/event wall, %.3f allocs/event, %.1f B/event\n",
 			events,

@@ -24,6 +24,7 @@ import (
 	"time"
 
 	"resex/internal/experiments"
+	"resex/internal/invariant"
 	"resex/internal/report"
 	"resex/internal/sim"
 )
@@ -57,6 +58,7 @@ func main() {
 		warmup   = flag.Duration("warmup", 100*time.Millisecond, "virtual warmup before measuring")
 		seed     = flag.Int64("seed", 0, "workload seed offset (same seed = byte-identical output)")
 		parallel = flag.Int("parallel", runtime.GOMAXPROCS(0), "worker pool size for a figure's independent sweep points (output is byte-identical at any value)")
+		audit    = flag.Bool("audit", false, "run the invariant auditor alongside every figure and print its summary (deterministic; cannot change figure output)")
 	)
 	flag.Parse()
 
@@ -97,7 +99,13 @@ func main() {
 	for _, id := range ids {
 		e, _ := experiments.Lookup(id)
 		start := time.Now()
-		res, err := e.Run(opts)
+		runOpts := opts
+		var col *invariant.Collector
+		if *audit {
+			col = invariant.NewCollector(invariant.Audit)
+			runOpts.Audit = col
+		}
+		res, err := e.Run(runOpts)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "resexsim: %s: %v\n", id, err)
 			os.Exit(1)
@@ -143,6 +151,18 @@ func main() {
 			}
 			// Stderr, so two same-seed runs stay byte-identical on stdout.
 			fmt.Fprintf(os.Stderr, "[%s completed in %v wall time]\n", id, time.Since(start).Round(time.Millisecond))
+		}
+		if col != nil {
+			// Deterministic, so it belongs on stdout in text mode (the
+			// determinism gates diff it too); stderr keeps CSV/JSON clean.
+			auditOut := os.Stdout
+			if *jsonOut || *csv {
+				auditOut = os.Stderr
+			}
+			if err := col.WriteText(auditOut); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
 		}
 	}
 	if *svgDir != "" && len(index) > 0 {

@@ -221,8 +221,10 @@ func AblEvents(o Options) (*AblEventsResult, error) {
 					if cap > 0 {
 						app.ServerVM.Dom.SetCap(cap)
 					}
+					stopAudit := o.auditTestbed(tb)
 					app.Start()
 					tb.Eng.RunUntil(o.Duration)
+					stopAudit()
 					st := app.Server.Stats()
 					row := AblEventsRow{
 						Mode: name, Cap: cap, Mean: st.Total.Mean(),

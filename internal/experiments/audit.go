@@ -1,0 +1,72 @@
+package experiments
+
+import (
+	"resex/internal/cluster"
+	"resex/internal/invariant"
+	"resex/internal/placement"
+	"resex/internal/resex"
+	"resex/internal/workload"
+)
+
+// auditTestbed attaches an invariant auditor to the testbed's engine when
+// Options.Audit is set, watching every host's hypervisor and adapter plus
+// any ResEx managers, and returns the function that finalizes the audit
+// (run it after the simulation, before Shutdown). With auditing disabled it
+// returns a no-op, so unaudited runs pay nothing beyond a nil check.
+func (o Options) auditTestbed(tb *cluster.Testbed, mgrs ...*resex.Manager) func() {
+	if o.Audit == nil {
+		return func() {}
+	}
+	a := invariant.New(tb.Eng, o.Audit)
+	for _, h := range tb.Hosts {
+		a.WatchXen(h.HV)
+		a.WatchHCA(h.HCA)
+	}
+	for _, m := range mgrs {
+		if m != nil {
+			a.WatchManager(m)
+		}
+	}
+	return a.Close
+}
+
+// auditFleet is auditTestbed for a placement fleet: every host's
+// hypervisor and adapter plus the per-host ResEx managers. Domains and QPs
+// that live migration creates or destroys mid-run are discovered on the
+// auditor's next pass.
+func (o Options) auditFleet(f *placement.Fleet) func() {
+	if o.Audit == nil {
+		return func() {}
+	}
+	a := invariant.New(f.TB.Eng, o.Audit)
+	for _, h := range f.TB.Hosts {
+		a.WatchXen(h.HV)
+		a.WatchHCA(h.HCA)
+	}
+	for _, m := range f.Mgrs {
+		if m != nil {
+			a.WatchManager(m)
+		}
+	}
+	return a.Close
+}
+
+// auditWorkload is auditTestbed for a multi-tenant workload engine: hosts
+// and managers as usual, plus per-tenant SLO bookkeeping.
+func (o Options) auditWorkload(e *workload.Engine) func() {
+	if o.Audit == nil {
+		return func() {}
+	}
+	a := invariant.New(e.TB.Eng, o.Audit)
+	for _, h := range e.TB.Hosts {
+		a.WatchXen(h.HV)
+		a.WatchHCA(h.HCA)
+	}
+	for _, m := range e.Mgrs {
+		if m != nil {
+			a.WatchManager(m)
+		}
+	}
+	a.WatchWorkload(e)
+	return a.Close
+}

@@ -139,6 +139,8 @@ func runFaultsRow(o Options, stormsPerSec float64, aware bool) (AblFaultsRow, er
 		cfg.QuarantineBlackouts = true
 	}
 	f := placement.NewFleet(cfg)
+	stopAudit := o.auditFleet(f)
+	defer stopAudit()
 	ws := faultsWorkloads(o.Seed)
 
 	const arrivalGap = 25 * sim.Millisecond

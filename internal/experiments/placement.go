@@ -148,6 +148,8 @@ func runPlacementRow(o Options, hosts, vms int, strat placementStrategy) (AblPla
 		Strategy:    strat.make(),
 		Seed:        o.Seed + int64(hosts)*1000 + int64(vms),
 	})
+	stopAudit := o.auditFleet(f)
+	defer stopAudit()
 	ws := placementWorkloads(vms, o.Seed)
 
 	const arrivalGap = 25 * sim.Millisecond

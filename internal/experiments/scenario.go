@@ -18,6 +18,7 @@ import (
 	"resex/internal/cluster"
 	"resex/internal/fabric"
 	"resex/internal/ibmon"
+	"resex/internal/invariant"
 	"resex/internal/resex"
 	"resex/internal/sim"
 )
@@ -58,6 +59,11 @@ type Options struct {
 	// hand. It is informational for the historical figure drivers, which
 	// keep their original Seed arithmetic to preserve recorded outputs.
 	PointSeed int64
+	// Audit, when non-nil, attaches a runtime invariant auditor to every
+	// engine the experiment builds and merges results into this collector.
+	// The auditor is a pure observer: enabling it cannot change any figure
+	// output (resexsim -audit; see internal/invariant).
+	Audit *invariant.Collector
 }
 
 // WithDefaults fills zero fields.
@@ -224,6 +230,7 @@ func (s *Scenario) Start() {
 // the convergence transient), then the measured duration, and shuts the
 // simulation down.
 func (s *Scenario) RunMeasured(o Options) {
+	stopAudit := o.auditTestbed(s.TB, s.Mgr)
 	s.Start()
 	s.TB.Eng.RunUntil(o.Warmup)
 	if !o.Timeline {
@@ -233,6 +240,7 @@ func (s *Scenario) RunMeasured(o Options) {
 		}
 	}
 	s.TB.Eng.RunUntil(o.Warmup + o.Duration)
+	stopAudit()
 	s.Shutdown()
 }
 

@@ -105,8 +105,10 @@ func SoftRT(o Options) (*SoftRTResult, error) {
 			}
 			bulk.Start()
 		}
+		stopAudit := o.auditTestbed(tb, mgr)
 		st.Start()
 		tb.Eng.RunUntil(o.Duration)
+		stopAudit()
 		s := st.Stats()
 		row := SoftRTRow{
 			Config:   name,

@@ -61,7 +61,9 @@ func workloadCapacity(o Options, n int) (float64, error) {
 	if dur > 400*sim.Millisecond {
 		dur = 400 * sim.Millisecond
 	}
+	stopAudit := o.auditWorkload(e)
 	e.RunMeasured(o.Warmup, dur)
+	stopAudit()
 	var sum float64
 	for _, t := range e.Tenants() {
 		sum += t.Stats().CompletedPerSec
@@ -152,7 +154,9 @@ func runWorkloadRow(o Options, perTenant float64, loadPct int, policy string) (A
 			return AblWorkloadRow{}, err
 		}
 	}
+	stopAudit := o.auditWorkload(e)
 	e.RunMeasured(o.Warmup, o.Duration)
+	stopAudit()
 	row := AblWorkloadRow{LoadPct: loadPct, Policy: policy}
 	merged := stats.NewQuantileSketch(0)
 	for _, t := range e.Tenants() {
@@ -280,7 +284,9 @@ func runWorkloadMixRow(o Options, policy string) (AblWorkloadMixRow, error) {
 	if err != nil {
 		return AblWorkloadMixRow{}, err
 	}
+	stopAudit := o.auditWorkload(e)
 	e.RunMeasured(o.Warmup, o.Duration)
+	stopAudit()
 	lst, bst := lat.Stats(), bulk.Stats()
 	return AblWorkloadMixRow{
 		Policy:             policy,
@@ -381,7 +387,9 @@ func runWorkloadBurstRow(o Options, meanRate float64, factor int, admit workload
 	if err != nil {
 		return AblWorkloadBurstRow{}, err
 	}
+	stopAudit := o.auditWorkload(e)
 	e.RunMeasured(o.Warmup, o.Duration)
+	stopAudit()
 	st := tn.Stats()
 	row := AblWorkloadBurstRow{
 		Factor:    factor,

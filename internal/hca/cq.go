@@ -90,8 +90,9 @@ type CQ struct {
 	// Completion-stall fault state: while stalled > 0 the device keeps
 	// finishing work on the wire but withholds the CQEs; they replay as one
 	// burst on resume (often overrunning the ring — the forced-overrun fault).
-	stalled  int
-	deferred []pendingCQE
+	stalled       int
+	stallEpisodes int64
+	deferred      []pendingCQE
 }
 
 // pendingCQE is a completion withheld by an active stall.
@@ -180,7 +181,18 @@ func (cq *CQ) Overruns() int64 { return cq.overruns }
 
 // Stall begins withholding completions: DMA and wire traffic continue, but
 // no CQE or doorbell update reaches guest memory until Resume. Calls nest.
-func (cq *CQ) Stall() { cq.stalled++ }
+func (cq *CQ) Stall() {
+	if cq.stalled == 0 {
+		cq.stallEpisodes++
+	}
+	cq.stalled++
+}
+
+// StallEpisodes returns how many distinct stall episodes (0→stalled
+// transitions) this CQ has experienced. The invariant auditor uses it to
+// tell fault-injected overruns (resume bursts) from organic ones: a CQ with
+// overruns but no stall history indicates a consumer bug.
+func (cq *CQ) StallEpisodes() int64 { return cq.stallEpisodes }
 
 // Resume ends one Stall. When the last nested stall ends, every withheld
 // completion is written back-to-back at the current instant — a burst that

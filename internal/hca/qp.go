@@ -124,6 +124,12 @@ type QP struct {
 	remoteQPN  uint32
 	destroyed  bool
 
+	// Lifetime counters for invariant auditing: completions can never
+	// outnumber posts on either queue, through flush and destroy included.
+	completedSends uint64
+	postedRecvs    uint64
+	completedRecvs uint64
+
 	// Receive side reassembly and RNR parking.
 	pendingRecv []*wireMsg
 }
@@ -184,6 +190,23 @@ func (qp *QP) RecvCQ() *CQ { return qp.recvCQ }
 // on real hardware.
 func (qp *QP) SQAvailable() int { return qp.sqDepth - qp.outstanding }
 
+// PostedSends returns the lifetime count of accepted send work requests
+// (the doorbell counter).
+func (qp *QP) PostedSends() uint64 { return qp.sqHead }
+
+// CompletedSends returns the lifetime count of send-side completions,
+// including flush completions at destroy. Causality requires
+// CompletedSends <= PostedSends at every instant.
+func (qp *QP) CompletedSends() uint64 { return qp.completedSends }
+
+// PostedRecvs returns the lifetime count of accepted receive buffers.
+func (qp *QP) PostedRecvs() uint64 { return qp.postedRecvs }
+
+// CompletedRecvs returns the lifetime count of consumed receive buffers
+// (delivered messages plus destroy-time flushes); never exceeds
+// PostedRecvs.
+func (qp *QP) CompletedRecvs() uint64 { return qp.completedRecvs }
+
 // Connect transitions the QP to RTS toward a remote QP. Both ends must be
 // connected (as an out-of-band connection manager would do).
 func (qp *QP) Connect(remoteNode int, remoteQPN uint32) error {
@@ -221,6 +244,7 @@ func (qp *QP) PostRecv(wr RecvWR) error {
 		return ErrBadLKey
 	}
 	qp.rq = append(qp.rq, wr)
+	qp.postedRecvs++
 	if len(qp.pendingRecv) > 0 {
 		m := qp.pendingRecv[0]
 		qp.pendingRecv = qp.pendingRecv[1:]
@@ -272,6 +296,7 @@ func (qp *QP) completeSend(op Opcode, status Status, byteLen uint32, wrID uint64
 	if qp.outstanding > 0 {
 		qp.outstanding--
 	}
+	qp.completedSends++
 	qp.sendCQ.push(qp.qpn, op, status, byteLen, wrID, 0)
 }
 
@@ -291,6 +316,7 @@ func (pd *PD) DestroyQP(qp *QP) {
 	qp.sq = nil
 	qp.outstanding = 0
 	for _, rwr := range qp.rq {
+		qp.completedRecvs++
 		qp.recvCQ.push(qp.qpn, OpRecv, StatusFlushErr, 0, rwr.ID, 0)
 	}
 	qp.rq = nil
@@ -453,6 +479,7 @@ func (qp *QP) completeInbound(m *wireMsg) {
 	h := qp.pd.hca
 	rwr := qp.rq[0]
 	qp.rq = qp.rq[1:]
+	qp.completedRecvs++
 	status := StatusOK
 	if m.op == OpSend {
 		if m.len > rwr.Len {

@@ -1,0 +1,106 @@
+package invariant
+
+import (
+	"strings"
+	"testing"
+
+	"resex/internal/resos"
+	"resex/internal/sim"
+)
+
+// TestConservationCheckerDetectsTampering proves the checker has teeth: a
+// legal charge/replenish sequence passes, and a ledger whose baseline is
+// skewed out from under it (simulating a minted Reso) is reported.
+func TestConservationCheckerDetectsTampering(t *testing.T) {
+	eng := sim.New()
+	col := NewCollector(Audit)
+	a := New(eng, col)
+
+	ac := resos.NewAccount("vm0", 1000)
+	a.checkAccount(ac) // establish baseline
+	ac.ChargeCPU(50, 1)
+	ac.ChargeIO(200, 1)
+	ac.Replenish()
+	a.checkAccount(ac)
+	if got := col.Report().Total; got != 0 {
+		t.Fatalf("legal sequence reported %d violations", got)
+	}
+
+	// Skew the recorded baseline: the account now appears to hold 5 Resos
+	// that no charge, allocation or forgiveness explains.
+	a.accts[ac].balance -= 5
+	a.checkAccount(ac)
+	a.Close()
+	r := col.Report()
+	if r.Counts["resos-conservation"] != 1 {
+		t.Fatalf("tampered ledger not detected: %+v", r.Counts)
+	}
+	if len(r.First) != 1 || r.First[0].Scope != "vm0" {
+		t.Fatalf("unexpected first-violation index: %+v", r.First)
+	}
+}
+
+// TestStrictModePanicsOnViolation checks fail-fast semantics and that the
+// panic message carries the predicate context.
+func TestStrictModePanicsOnViolation(t *testing.T) {
+	eng := sim.New()
+	a := New(eng, NewCollector(Strict))
+	defer a.Close()
+	ac := resos.NewAccount("vm1", 500)
+	a.checkAccount(ac)
+	a.accts[ac].balance -= 3
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("Strict mode did not panic on a violation")
+		}
+		msg, ok := r.(string)
+		if !ok || !strings.Contains(msg, "resos-conservation") || !strings.Contains(msg, "vm1") {
+			t.Fatalf("panic lacks predicate context: %v", r)
+		}
+	}()
+	a.checkAccount(ac)
+}
+
+// TestCollectorMergeDeterminism checks that merging the same violations in
+// different orders yields identical reports (what keeps -audit output
+// byte-identical across -parallel values).
+func TestCollectorMergeDeterminism(t *testing.T) {
+	build := func(order []int) Report {
+		col := NewCollector(Audit)
+		auditors := make([]*Auditor, 3)
+		for i := range auditors {
+			eng := sim.New()
+			auditors[i] = New(eng, col)
+			auditors[i].violate("xen-cap", "domA", "detail")
+			auditors[i].violate("hca-overrun", "hca1/cq2", "detail")
+		}
+		for _, i := range order {
+			auditors[i].Close()
+		}
+		return col.Report()
+	}
+	a, b := build([]int{0, 1, 2}), build([]int{2, 0, 1})
+	if a.Total != b.Total || a.Engines != b.Engines || len(a.First) != len(b.First) {
+		t.Fatalf("merge order changed the report: %+v vs %+v", a, b)
+	}
+	for i := range a.First {
+		if a.First[i] != b.First[i] {
+			t.Fatalf("first-violation index differs at %d: %+v vs %+v", i, a.First[i], b.First[i])
+		}
+	}
+	var sb strings.Builder
+	col := NewCollector(Audit)
+	eng := sim.New()
+	aud := New(eng, col)
+	aud.violate("b-checker", "s", "x")
+	aud.violate("a-checker", "s", "x")
+	aud.Close()
+	if err := col.WriteText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if strings.Index(out, "a-checker") > strings.Index(out, "b-checker") {
+		t.Fatalf("WriteText not sorted by checker:\n%s", out)
+	}
+}

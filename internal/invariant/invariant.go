@@ -1,0 +1,187 @@
+// Package invariant is the simulation's runtime correctness backstop: a
+// low-overhead auditor that rides the engine's step hook and checks, while
+// an experiment runs, the conservation and causality properties every figure
+// silently depends on — Reso book balance, Xen cap duty cycles, HCA
+// completion causality, clock/heap ordering, and SLO window bookkeeping.
+//
+// The design follows deterministic-simulation testing practice: because the
+// engine is deterministic, any violation is perfectly reproducible from the
+// seed that produced it. The auditor is a pure observer — it never schedules
+// events, so enabling it cannot perturb event ordering; `-audit` output is
+// byte-identical at any -parallel value.
+//
+// Two modes: Audit collects violations into a deterministic report (for
+// production runs behind resexsim -audit); Strict panics on the first
+// violation with the full predicate context (for tests, where fail-fast
+// beats aggregation).
+package invariant
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"time"
+
+	"resex/internal/sim"
+)
+
+// Mode selects how violations are handled.
+type Mode int
+
+const (
+	// Audit collects violations into the report and keeps running.
+	Audit Mode = iota
+	// Strict panics on the first violation (fail fast, for tests).
+	Strict
+)
+
+// String names the mode.
+func (m Mode) String() string {
+	if m == Strict {
+		return "strict"
+	}
+	return "audit"
+}
+
+// Violation is one observed predicate failure.
+type Violation struct {
+	// Checker is the predicate family (e.g. "resos-conservation").
+	Checker string
+	// Scope identifies the object checked (domain name, tenant, cq...).
+	Scope string
+	// At is the virtual time of the observation.
+	At sim.Time
+	// Detail states the failed predicate with its observed values.
+	Detail string
+}
+
+// String renders the violation on one line.
+func (v Violation) String() string {
+	return fmt.Sprintf("%s[%s] at %v: %s", v.Checker, v.Scope, time.Duration(v.At), v.Detail)
+}
+
+// vkey identifies a (checker, scope) pair in the first-violation index.
+type vkey struct {
+	checker, scope string
+}
+
+// Collector aggregates audit results across one or more engines (a sweep
+// runs every point's auditor into the same collector, possibly from the
+// worker pool's goroutines — aggregation is therefore locked and strictly
+// commutative: sums per checker, earliest violation per (checker, scope) by
+// (At, Detail). That commutativity is what keeps -audit output
+// byte-identical whether points ran serially or on 8 workers).
+type Collector struct {
+	mode Mode
+
+	mu      sync.Mutex
+	engines int
+	events  uint64
+	checks  uint64
+	counts  map[string]int64
+	first   map[vkey]Violation
+}
+
+// NewCollector creates an empty collector in the given mode.
+func NewCollector(mode Mode) *Collector {
+	return &Collector{
+		mode:   mode,
+		counts: make(map[string]int64),
+		first:  make(map[vkey]Violation),
+	}
+}
+
+// Mode returns the collector's handling mode.
+func (c *Collector) Mode() Mode { return c.mode }
+
+// merge folds one closed auditor's tallies in (called from Auditor.Close).
+func (c *Collector) merge(engines int, events, checks uint64, counts map[string]int64, first map[vkey]Violation) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.engines += engines
+	c.events += events
+	c.checks += checks
+	for k, n := range counts {
+		c.counts[k] += n
+	}
+	for k, v := range first {
+		if old, ok := c.first[k]; !ok || v.At < old.At || (v.At == old.At && v.Detail < old.Detail) {
+			c.first[k] = v
+		}
+	}
+}
+
+// Report is a deterministic snapshot of everything collected.
+type Report struct {
+	// Engines is how many audited engines merged their results.
+	Engines int
+	// Events is the total number of events observed by step hooks.
+	Events uint64
+	// Checks is the total number of per-object predicate evaluations.
+	Checks uint64
+	// Total is the total violation count across all checkers.
+	Total int64
+	// Counts maps checker name to its violation count.
+	Counts map[string]int64
+	// First holds the earliest violation per (checker, scope), sorted by
+	// checker then scope.
+	First []Violation
+}
+
+// Report snapshots the collector.
+func (c *Collector) Report() Report {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	r := Report{
+		Engines: c.engines,
+		Events:  c.events,
+		Checks:  c.checks,
+		Counts:  make(map[string]int64, len(c.counts)),
+	}
+	for k, n := range c.counts {
+		r.Counts[k] = n
+		r.Total += n
+	}
+	for _, v := range c.first {
+		r.First = append(r.First, v)
+	}
+	sort.Slice(r.First, func(i, j int) bool {
+		a, b := r.First[i], r.First[j]
+		if a.Checker != b.Checker {
+			return a.Checker < b.Checker
+		}
+		return a.Scope < b.Scope
+	})
+	return r
+}
+
+// WriteText renders the report deterministically: a one-line summary, then
+// (only when violations exist) per-checker counts and the earliest
+// violation per scope.
+func (c *Collector) WriteText(w io.Writer) error {
+	r := c.Report()
+	if _, err := fmt.Fprintf(w, "audit: engines=%d events=%d checks=%d violations=%d\n",
+		r.Engines, r.Events, r.Checks, r.Total); err != nil {
+		return err
+	}
+	if r.Total == 0 {
+		return nil
+	}
+	names := make([]string, 0, len(r.Counts))
+	for k := range r.Counts {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	for _, k := range names {
+		if _, err := fmt.Fprintf(w, "audit:  %s: %d\n", k, r.Counts[k]); err != nil {
+			return err
+		}
+	}
+	for _, v := range r.First {
+		if _, err := fmt.Fprintf(w, "audit:   %s\n", v.String()); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,145 @@
+// Package prop is the property/metamorphic layer on top of the invariant
+// auditor: seed-driven generators for clusters, tenant mixes and fault plans,
+// plus the wiring helper that attaches an auditor to a generated rig. The
+// tests in this package assert *relations between runs* — scale the offered
+// load to zero and nothing may be charged, permute tenant declaration order
+// and per-tenant results must only relabel, double the horizon and the epoch
+// ledger prefix must not move — rather than absolute numbers, which makes
+// them robust to retuning while still pinning the simulator's physics.
+//
+// Every generator is a pure function of the *sim.Rand it is handed, so a
+// failing property reproduces from its seed alone.
+package prop
+
+import (
+	"fmt"
+
+	"resex/internal/faults"
+	"resex/internal/invariant"
+	"resex/internal/placement"
+	"resex/internal/sim"
+	"resex/internal/workload"
+)
+
+// Cluster draws a small multi-tenant rig shape: one to three worker hosts,
+// with epochs short enough (50 ms) that managed runs cross several epoch
+// boundaries inside a property test's horizon. Callers pick the policy —
+// whether a rig is managed is a test axis, not a random one.
+func Cluster(rng *sim.Rand) workload.Config {
+	return workload.Config{
+		Hosts:             1 + rng.Intn(3),
+		IntervalsPerEpoch: 50,
+	}
+}
+
+// Tenants draws n tenant specs spanning the engine's surface: open loops
+// (metronome, Poisson, bursty MMPP) and closed loops, mixed buffer sizes,
+// SLA-backed reporters and silent bulk movers, and the occasional admission
+// hook. Rates are kept light enough that a 1-host rig is not driven to
+// saturation — the properties are about bookkeeping, not capacity.
+func Tenants(rng *sim.Rand, n int) []workload.TenantSpec {
+	sizes := []int{4 << 10, 16 << 10, 64 << 10}
+	specs := make([]workload.TenantSpec, 0, n)
+	for i := 0; i < n; i++ {
+		spec := workload.TenantSpec{
+			Name:       fmt.Sprintf("t%d", i),
+			BufferSize: sizes[rng.Intn(len(sizes))],
+			Seed:       1 + rng.Int63n(1<<30),
+		}
+		switch rng.Intn(4) {
+		case 0:
+			spec.Closed = workload.ClosedLoop{
+				Concurrency: 1 + rng.Intn(3),
+				Think:       sim.Time(rng.Intn(4)) * sim.Millisecond,
+				ThinkExp:    rng.Intn(2) == 0,
+			}
+		case 1:
+			spec.Arrivals = workload.Fixed{Interval: sim.Time(1+rng.Intn(8)) * sim.Millisecond}
+		case 2:
+			spec.Arrivals = workload.Poisson{Rate: 100 + float64(rng.Intn(300))}
+		default:
+			spec.Arrivals = &workload.MMPP2{
+				CalmRate:   50 + float64(rng.Intn(100)),
+				BurstRate:  400 + float64(rng.Intn(400)),
+				CalmDwell:  sim.Time(10+rng.Intn(20)) * sim.Millisecond,
+				BurstDwell: sim.Time(2+rng.Intn(8)) * sim.Millisecond,
+			}
+		}
+		if rng.Intn(2) == 0 {
+			spec.SLAUs = 200 + float64(rng.Intn(400))
+			spec.LatencySensitive = true
+		}
+		if spec.Arrivals != nil {
+			switch rng.Intn(4) {
+			case 0:
+				spec.Admission = workload.QueueCap{Max: 4 + rng.Intn(28)}
+			case 1:
+				spec.Admission = workload.DeadlineShed{MaxWaitUs: 500 + float64(rng.Intn(2000))}
+			}
+		}
+		specs = append(specs, spec)
+	}
+	return specs
+}
+
+// FaultPlan draws a correlated storm schedule over the given hosts and
+// window: the intensity and which optional layers (stalls, invalidations,
+// flaps, migration-failure windows) fire are themselves randomized, so
+// different property seeds exercise different corners of the injector.
+func FaultPlan(rng *sim.Rand, hosts []int, start, horizon sim.Time) faults.Schedule {
+	cfg := faults.GenConfig{
+		Hosts:        hosts,
+		Start:        start,
+		Horizon:      horizon,
+		StormsPerSec: 8 + float64(rng.Intn(20)),
+	}
+	// -1 disables a layer; the generator treats 0 as "use the default".
+	pick := func() int {
+		if rng.Intn(3) == 0 {
+			return -1
+		}
+		return 1 + rng.Intn(4)
+	}
+	cfg.StallEvery = pick()
+	cfg.InvalidateEvery = pick()
+	cfg.MigrateFailEvery = pick()
+	if rng.Intn(2) == 0 {
+		cfg.FlapEvery = 2 + rng.Intn(3)
+	}
+	return faults.Generate(rng.Int63n(1<<31), cfg)
+}
+
+// Audit attaches an invariant auditor to a generated workload engine —
+// every worker and client host's hypervisor and adapter, every per-host
+// manager, and the engine's SLO ledgers — and returns the closer. It is the
+// test-side mirror of the experiment drivers' opt-in wiring.
+func Audit(e *workload.Engine, col *invariant.Collector) func() {
+	a := invariant.New(e.TB.Eng, col)
+	for _, h := range e.TB.Hosts {
+		a.WatchXen(h.HV)
+		a.WatchHCA(h.HCA)
+	}
+	for _, m := range e.Mgrs {
+		if m != nil {
+			a.WatchManager(m)
+		}
+	}
+	a.WatchWorkload(e)
+	return a.Close
+}
+
+// AuditFleet is Audit for a placement fleet: hosts and per-host managers
+// (fleets have no workload-engine SLO ledger to watch).
+func AuditFleet(f *placement.Fleet, col *invariant.Collector) func() {
+	a := invariant.New(f.TB.Eng, col)
+	for _, h := range f.TB.Hosts {
+		a.WatchXen(h.HV)
+		a.WatchHCA(h.HCA)
+	}
+	for _, m := range f.Mgrs {
+		if m != nil {
+			a.WatchManager(m)
+		}
+	}
+	return a.Close
+}

@@ -88,14 +88,16 @@ func (t *Timer) When() Time {
 // heap (no container/heap interface boxing), recurring timers reschedule in
 // place on a wheel without touching the heap, and Timer handles are values.
 type Engine struct {
-	now     Time
-	events  eventHeap
-	wheel   []*periodic
-	free    []*event
-	seq     uint64
-	procs   map[*Proc]struct{}
-	stepped uint64
-	stopped bool
+	now      Time
+	events   eventHeap
+	wheel    []*periodic
+	free     []*event
+	seq      uint64
+	procs    map[*Proc]struct{}
+	stepped  uint64
+	stopped  bool
+	stepHook func(at Time, seq uint64)
+	hookMask uint64
 }
 
 // New returns an empty engine with the clock at zero.
@@ -109,6 +111,41 @@ func (e *Engine) Now() Time { return e.now }
 // Steps returns the number of events executed so far (a cheap progress and
 // determinism probe).
 func (e *Engine) Steps() uint64 { return e.stepped }
+
+// SetStepHook installs fn to observe every executed event's (at, seq) key
+// just before its callback runs — the foundation for invariant auditing.
+// The hook is an observer only: it must not schedule, cancel, or otherwise
+// touch the engine, so installing one can never perturb event ordering.
+// Passing nil clears the hook; installing over an existing hook panics, so
+// two auditors cannot silently shadow each other. When no hook is set the
+// hot path pays a single nil check.
+func (e *Engine) SetStepHook(fn func(at Time, seq uint64)) {
+	e.setHook(0, fn)
+}
+
+// SetSampledStepHook installs fn to observe the (at, seq) key of every
+// every-th executed event (the stride must be a power of two so the hot
+// path pays one mask test against the step counter instead of an indirect
+// call per event — that difference is what keeps full-run auditing inside
+// its overhead budget). Shares the single hook slot with SetStepHook: the
+// same shadowing and nil-clearing rules apply.
+func (e *Engine) SetSampledStepHook(every uint64, fn func(at Time, seq uint64)) {
+	if every == 0 || every&(every-1) != 0 {
+		panic(fmt.Sprintf("sim: SetSampledStepHook stride %d is not a power of two", every))
+	}
+	e.setHook(every-1, fn)
+}
+
+func (e *Engine) setHook(mask uint64, fn func(at Time, seq uint64)) {
+	if fn != nil && e.stepHook != nil {
+		panic("sim: SetStepHook over an existing hook (clear it with nil first)")
+	}
+	e.stepHook = fn
+	if fn == nil {
+		mask = 0
+	}
+	e.hookMask = mask
+}
 
 // Schedule registers fn to run at the absolute virtual time at. Scheduling in
 // the past (before Now) panics: it would silently reorder causality.
@@ -167,8 +204,12 @@ func (e *Engine) Step() bool {
 	ev := e.events.popMin()
 	e.now = ev.at
 	e.stepped++
+	at, seq := ev.at, ev.seq
 	fn := ev.fn
 	e.release(ev)
+	if e.stepHook != nil && e.stepped&e.hookMask == 0 {
+		e.stepHook(at, seq)
+	}
 	fn()
 	return true
 }

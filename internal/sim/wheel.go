@@ -52,6 +52,9 @@ func (e *Engine) fireWheel(i int) {
 	p := e.wheel[i]
 	e.now = p.nextAt
 	e.stepped++
+	if e.stepHook != nil && e.stepped&e.hookMask == 0 {
+		e.stepHook(p.nextAt, p.seq)
+	}
 	p.firing = true
 	p.fn()
 	p.firing = false

@@ -1,0 +1,90 @@
+package stats
+
+import (
+	"encoding/binary"
+	"math"
+	"testing"
+)
+
+// fuzzFloats decodes the fuzz payload: the first byte picks the shard count,
+// the rest is consumed as little-endian float64 observations.
+func fuzzFloats(data []byte) (shards int, vals []float64) {
+	if len(data) == 0 {
+		return 1, nil
+	}
+	shards = 1 + int(data[0]%8)
+	data = data[1:]
+	for len(data) >= 8 {
+		vals = append(vals, math.Float64frombits(binary.LittleEndian.Uint64(data)))
+		data = data[8:]
+	}
+	return shards, vals
+}
+
+// FuzzQuantileMerge fuzzes the sketch's load-bearing promise: a sketch built
+// by merging arbitrary shards of a stream is bit-identical — count, extremes,
+// occupied buckets and every quantile — to the sketch that saw the whole
+// stream, in any merge order. The workload engine's per-window and per-tenant
+// rollups lean on exactly this, and the determinism gates require it to hold
+// to the last bit. Float64bits comparison keeps NaN payloads honest.
+func FuzzQuantileMerge(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte("\x03ABCDEFGHabcdefgh01234567ABCDEFGH"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > 1<<12 {
+			data = data[:1<<12]
+		}
+		nShards, vals := fuzzFloats(data)
+		whole := NewQuantileSketch(0)
+		shards := make([]*QuantileSketch, nShards)
+		for i := range shards {
+			shards[i] = NewQuantileSketch(0)
+		}
+		for i, v := range vals {
+			whole.Add(v)
+			shards[i%nShards].Add(v)
+		}
+		forward := NewQuantileSketch(0)
+		for _, sh := range shards {
+			forward.Merge(sh)
+		}
+		reverse := NewQuantileSketch(0)
+		for i := len(shards) - 1; i >= 0; i-- {
+			reverse.Merge(shards[i])
+		}
+		qs := []float64{0, 0.01, 0.25, 0.5, 0.9, 0.99, 0.999, 1}
+		for _, merged := range []*QuantileSketch{forward, reverse} {
+			if merged.Count() != whole.Count() || merged.Buckets() != whole.Buckets() {
+				t.Fatalf("merged shape diverged: count %d/%d buckets %d/%d",
+					merged.Count(), whole.Count(), merged.Buckets(), whole.Buckets())
+			}
+			if math.Float64bits(merged.Min()) != math.Float64bits(whole.Min()) ||
+				math.Float64bits(merged.Max()) != math.Float64bits(whole.Max()) {
+				t.Fatalf("merged extremes diverged: [%v,%v] vs [%v,%v]",
+					merged.Min(), merged.Max(), whole.Min(), whole.Max())
+			}
+			for _, q := range qs {
+				m, w := merged.Quantile(q), whole.Quantile(q)
+				if math.Float64bits(m) != math.Float64bits(w) {
+					t.Fatalf("q=%g: merged %v vs whole %v", q, m, w)
+				}
+			}
+		}
+		// Quantile estimates must be monotone in q and stay inside the
+		// tracked extremes. AddN sanitizes NaN/Inf on entry, so this holds
+		// for arbitrary inputs, not just finite ones.
+		if whole.Count() > 0 {
+			prev := math.Inf(-1)
+			for _, q := range qs {
+				v := whole.Quantile(q)
+				if v < prev {
+					t.Fatalf("quantiles not monotone: q=%g gave %v after %v", q, v, prev)
+				}
+				if v < whole.Min() || v > whole.Max() {
+					t.Fatalf("q=%g estimate %v outside [%v,%v]", q, v, whole.Min(), whole.Max())
+				}
+				prev = v
+			}
+		}
+	})
+}

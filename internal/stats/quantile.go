@@ -78,10 +78,25 @@ func (s *QuantileSketch) Max() float64 {
 // Add records one observation.
 func (s *QuantileSketch) Add(x float64) { s.AddN(x, 1) }
 
-// AddN records the same observation n times.
+// AddN records the same observation n times. Non-finite observations are
+// sanitized before anything else sees them: NaN becomes 0 and ±Inf clamps to
+// ±MaxFloat64. A NaN that reached the min/max comparisons would freeze them
+// in a shard- and order-dependent way — the first shard to see one reports
+// NaN extremes forever while the others don't, so merge results would depend
+// on merge order, breaking the merged-equals-whole-stream guarantee (found
+// by FuzzQuantileMerge). An infinity would additionally push the bucket key
+// through an implementation-defined float→int conversion.
 func (s *QuantileSketch) AddN(x float64, n int64) {
 	if n <= 0 {
 		return
+	}
+	switch {
+	case math.IsNaN(x):
+		x = 0
+	case math.IsInf(x, 1):
+		x = math.MaxFloat64
+	case math.IsInf(x, -1):
+		x = -math.MaxFloat64
 	}
 	if s.n == 0 {
 		s.min, s.max = x, x

@@ -1,0 +1,119 @@
+package workload
+
+import (
+	"testing"
+
+	"resex/internal/resex"
+	"resex/internal/sim"
+)
+
+// TestAdmissionEdges pins the degenerate corners of the admission policies:
+// a zero-capacity queue cap is a total shed (0 < 0 never holds), a
+// zero-deadline shedder still admits into an empty queue (0 ≤ 0 holds) but
+// sheds the moment the head has waited at all, and a negative deadline sheds
+// unconditionally.
+func TestAdmissionEdges(t *testing.T) {
+	cases := []struct {
+		name   string
+		policy Admission
+		state  AdmitState
+		want   bool
+	}{
+		{"queue-cap-0/empty-queue", QueueCap{Max: 0}, AdmitState{QueueLen: 0}, false},
+		{"queue-cap-0/backlog", QueueCap{Max: 0}, AdmitState{QueueLen: 7}, false},
+		{"queue-cap-1/empty-queue", QueueCap{Max: 1}, AdmitState{QueueLen: 0}, true},
+		{"queue-cap-1/at-cap", QueueCap{Max: 1}, AdmitState{QueueLen: 1}, false},
+		{"deadline-0/no-wait", DeadlineShed{MaxWaitUs: 0}, AdmitState{OldestWaitUs: 0}, true},
+		{"deadline-0/any-wait", DeadlineShed{MaxWaitUs: 0}, AdmitState{OldestWaitUs: 0.1}, false},
+		{"deadline-negative/no-wait", DeadlineShed{MaxWaitUs: -1}, AdmitState{OldestWaitUs: 0}, false},
+		{"deadline/under", DeadlineShed{MaxWaitUs: 100}, AdmitState{OldestWaitUs: 100}, true},
+		{"deadline/over", DeadlineShed{MaxWaitUs: 100}, AdmitState{OldestWaitUs: 100.001}, false},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			if got := tc.policy.Admit(tc.state); got != tc.want {
+				t.Fatalf("%s.Admit(%+v) = %v, want %v", tc.policy.Name(), tc.state, got, tc.want)
+			}
+		})
+	}
+}
+
+// TestQueueCapZeroShedsEverything drives a live tenant through the
+// zero-capacity edge: every open-loop arrival must be shed at the door, so
+// the tenant generates load on paper but never posts a byte.
+func TestQueueCapZeroShedsEverything(t *testing.T) {
+	e := New(Config{Hosts: 1, ClientPCPUs: 8})
+	tn, err := e.AddTenant(TenantSpec{
+		Name:      "walled",
+		Arrivals:  Poisson{Rate: 2000},
+		Admission: QueueCap{Max: 0},
+		Seed:      3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.RunMeasured(20*sim.Millisecond, 200*sim.Millisecond)
+	st := tn.Stats()
+	if st.Arrivals == 0 {
+		t.Fatal("no arrivals generated — load axis vacuous")
+	}
+	if st.Shed != st.Arrivals {
+		t.Fatalf("QueueCap(0) admitted something: %d arrivals, %d shed", st.Arrivals, st.Shed)
+	}
+	if st.Issued != 0 || st.Completed != 0 || st.Queued != 0 || st.Inflight != 0 {
+		t.Fatalf("fully-shed tenant did work: %+v", st)
+	}
+}
+
+// TestDeadlineShedZeroDeadline runs the zero-deadline shedder under overload:
+// arrivals that find an empty queue are admitted (the window still issues
+// them), but the instant anything waits, the door closes — so some work
+// completes and a large fraction sheds, with nothing stuck queued for long.
+func TestDeadlineShedZeroDeadline(t *testing.T) {
+	e := New(Config{Hosts: 1, ClientPCPUs: 8})
+	// ~4300/s capacity for 64 KB requests; offer ~2×.
+	tn, err := e.AddTenant(TenantSpec{
+		Name:      "impatient",
+		Arrivals:  Poisson{Rate: 9000},
+		Window:    4,
+		Admission: DeadlineShed{MaxWaitUs: 0},
+		Seed:      7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.RunMeasured(20*sim.Millisecond, 300*sim.Millisecond)
+	st := tn.Stats()
+	if st.Completed == 0 {
+		t.Fatal("zero-deadline shedder admitted nothing on an empty queue")
+	}
+	if st.Shed == 0 {
+		t.Fatal("2x overload with zero deadline shed nothing")
+	}
+	if st.Issued+st.Shed+int64(st.Queued) != st.Arrivals {
+		t.Fatalf("arrival accounting leak: %d issued + %d shed + %d queued != %d arrivals",
+			st.Issued, st.Shed, st.Queued, st.Arrivals)
+	}
+}
+
+// TestEmptyTenantSet runs managed and unmanaged engines with no tenants at
+// all: the epoch machinery, monitors and shutdown path must tolerate a rig
+// with zero load and zero VMs.
+func TestEmptyTenantSet(t *testing.T) {
+	for _, policy := range []func() resex.Policy{nil, func() resex.Policy { return resex.NewFreeMarket() }} {
+		e := New(Config{Hosts: 2, IntervalsPerEpoch: 50, Policy: policy})
+		e.RunMeasured(10*sim.Millisecond, 120*sim.Millisecond)
+		if len(e.Tenants()) != 0 {
+			t.Fatalf("phantom tenants: %d", len(e.Tenants()))
+		}
+		for _, mgr := range e.Mgrs {
+			if got := len(mgr.VMs()); got != 0 {
+				t.Fatalf("manager holds %d VMs on an empty rig", got)
+			}
+		}
+		if now := e.TB.Eng.Now(); now < 130*sim.Millisecond {
+			t.Fatalf("engine stopped early at %v", now)
+		}
+	}
+}

@@ -52,6 +52,7 @@ type sloTracker struct {
 	attained sim.Time
 	violated sim.Time
 	lastEval sim.Time
+	origin   sim.Time // where scoring (re)started; the bookkeeping anchor
 }
 
 func newSLOTracker(spec SLOSpec) *sloTracker {
@@ -114,4 +115,13 @@ func (t *sloTracker) reset(now sim.Time) {
 	t.total.Reset()
 	t.attained, t.violated = 0, 0
 	t.lastEval = now
+	t.origin = now
+}
+
+// rebase restarts the scoring clock at now without discarding sketches —
+// used when a tenant starts, so attained+violated always equals
+// lastEval-origin (the invariant auditor's bookkeeping identity).
+func (t *sloTracker) rebase(now sim.Time) {
+	t.lastEval = now
+	t.origin = now
 }

@@ -126,6 +126,13 @@ func (t *Tenant) Sketch() *stats.QuantileSketch { return t.slo.total }
 // Attainment returns the time-weighted SLO attainment so far, in percent.
 func (t *Tenant) Attainment() float64 { return t.slo.attainment() }
 
+// SLOAudit exposes the tracker's raw bookkeeping for invariant checking:
+// every scored window lands in exactly one bucket, so
+// attained + violated == lastEval - origin must hold at all times.
+func (t *Tenant) SLOAudit() (attained, violated, origin, lastEval sim.Time) {
+	return t.slo.attained, t.slo.violated, t.slo.origin, t.slo.lastEval
+}
+
 func (t *Tenant) postRecv(slot int) error {
 	return t.qp.PostRecv(hca.RecvWR{
 		ID:   uint64(slot),
@@ -142,7 +149,7 @@ func (t *Tenant) start() {
 	}
 	t.running = true
 	t.resetAt = t.eng.Now()
-	t.slo.lastEval = t.eng.Now()
+	t.slo.rebase(t.eng.Now())
 	// Relay receive completions into the work signal. The CQ signal
 	// delivers one Notify per broadcast, so the relay re-registers itself;
 	// it goes quiet once the tenant stops.

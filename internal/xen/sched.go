@@ -177,6 +177,19 @@ func (v *VCPU) ConsumedTime() sim.Time { return v.consumed }
 // String identifies the VCPU in diagnostics.
 func (v *VCPU) String() string { return fmt.Sprintf("%s/v%d", v.dom.name, v.id) }
 
+// WindowBudget returns the VCPU's remaining runnable time in the current cap
+// window. Grants are pre-charged at issuance, so this is never negative —
+// that zero bound is the "documented bound" the invariant auditor checks.
+func (v *VCPU) WindowBudget() sim.Time { return v.budget }
+
+// WindowUsed returns the time already debited against the current cap
+// window (issued grants, minus yield refunds).
+func (v *VCPU) WindowUsed() sim.Time { return v.windowUsed }
+
+// WindowQuota returns the per-window budget the current domain cap implies
+// (the full CapPeriod when uncapped).
+func (v *VCPU) WindowQuota() sim.Time { return v.capShare() }
+
 // refresh rolls the VCPU's budget forward if a new cap window has begun.
 func (v *VCPU) refresh(window sim.Time) {
 	if window != v.window {

@@ -148,6 +148,7 @@ type Domain struct {
 	weight   int
 	cap      int // percent of one PCPU per window; 0 = uncapped
 	consumed sim.Time
+	onCap    func(old, new int)
 }
 
 // ID returns the domain id.
@@ -183,7 +184,11 @@ func (d *Domain) SetCap(pct int) {
 	if pct > 100 {
 		pct = 100
 	}
+	old := d.cap
 	d.cap = pct
+	if d.onCap != nil && old != pct {
+		d.onCap(old, pct)
+	}
 	for _, v := range d.vcpus {
 		v.refresh(d.hv.eng.Now() / d.hv.cfg.CapPeriod)
 		v.budget = v.capShare() - v.windowUsed
@@ -250,3 +255,10 @@ func (d *Domain) AddVCPU(pcpu *PCPU) *VCPU {
 
 // Hypervisor returns the owning hypervisor.
 func (d *Domain) Hypervisor() *Hypervisor { return d.hv }
+
+// ObserveCap registers fn to run synchronously whenever SetCap changes the
+// domain's effective cap, with the old and new percentages. At most one
+// observer is supported (last registration wins); pass nil to clear. The
+// invariant auditor uses this to track the loosest cap in force across a
+// sampling span, so a mid-window cap change never reads as a violation.
+func (d *Domain) ObserveCap(fn func(old, new int)) { d.onCap = fn }
