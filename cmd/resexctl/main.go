@@ -1,0 +1,201 @@
+// Command resexctl is the control client for resexd. It connects to the
+// daemon's unix socket, sends one command as a line of JSON, and prints the
+// reply.
+//
+// Usage:
+//
+//	resexctl [-socket /tmp/resexd.sock] <verb> [args]
+//
+// Verbs:
+//
+//	status                        session cursor, policy, tenants, log size
+//	run                           resume stepping from the current boundary
+//	pause                         hold at the next boundary
+//	step [n]                      advance n quanta (default 1), then pause
+//	run-until <duration>          run to a virtual-time target (e.g. 2s)
+//	add-tenant <name> <class> [rate]   class: latency, bulk or open
+//	remove-tenant <name>          stop a tenant's traffic
+//	policy <name>                 swap pricing policy: none, freemarket, ioshares
+//	snapshot <path>               write a verified-restorable snapshot
+//	restore <path>                replace the session from a snapshot
+//	watch [n]                     stream telemetry samples (n lines, or until ^C)
+//	quit                          shut the daemon down
+//
+// Every verb except watch is a single round trip; exit status is non-zero
+// when the daemon rejects the command.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"time"
+
+	"resex/internal/daemon"
+)
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: resexctl [-socket path] <verb> [args]")
+	fmt.Fprintln(os.Stderr, "verbs: status run pause step run-until add-tenant remove-tenant policy snapshot restore watch quit")
+	os.Exit(2)
+}
+
+func usageErr(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "resexctl: "+format+"\n", args...)
+	usage()
+}
+
+// build turns argv into a Command, validating arity client-side so mistakes
+// fail before they reach the daemon.
+func build(args []string) daemon.Command {
+	verb := args[0]
+	rest := args[1:]
+	want := func(n int, shape string) {
+		if len(rest) != n {
+			usageErr("%s takes %s", verb, shape)
+		}
+	}
+	c := daemon.Command{Cmd: verb}
+	switch verb {
+	case "status", "run", "pause", "quit", "watch":
+		if verb == "watch" && len(rest) == 1 {
+			n, err := strconv.ParseInt(rest[0], 10, 64)
+			if err != nil || n < 1 {
+				usageErr("watch count must be a positive integer, got %q", rest[0])
+			}
+			c.N = n
+			break
+		}
+		want(0, "no arguments")
+	case "step":
+		if len(rest) == 1 {
+			n, err := strconv.ParseInt(rest[0], 10, 64)
+			if err != nil || n < 1 {
+				usageErr("step count must be a positive integer, got %q", rest[0])
+			}
+			c.N = n
+			break
+		}
+		want(0, "an optional count")
+	case "run-until":
+		want(1, "one duration (virtual time, e.g. 2s)")
+		d, err := time.ParseDuration(rest[0])
+		if err != nil || d <= 0 {
+			usageErr("bad run-until target %q", rest[0])
+		}
+		c.TNs = d.Nanoseconds()
+	case "add-tenant":
+		if len(rest) != 2 && len(rest) != 3 {
+			usageErr("add-tenant takes <name> <class> [rate]")
+		}
+		c.Name, c.Class = rest[0], rest[1]
+		if len(rest) == 3 {
+			rate, err := strconv.ParseFloat(rest[2], 64)
+			if err != nil || rate <= 0 {
+				usageErr("bad rate %q", rest[2])
+			}
+			c.Rate = rate
+		}
+	case "remove-tenant":
+		want(1, "one tenant name")
+		c.Name = rest[0]
+	case "policy":
+		want(1, "one policy name (none, freemarket, ioshares)")
+		c.Name = rest[0]
+	case "snapshot", "restore":
+		want(1, "one file path")
+		c.Path = rest[0]
+	default:
+		usageErr("unknown verb %q", verb)
+	}
+	return c
+}
+
+func printStatus(st *daemon.Status) {
+	state := "running"
+	if st.Paused {
+		state = "paused"
+	}
+	fmt.Printf("t=%v  epoch=%d  policy=%s  %s", time.Duration(st.AtNs), st.Epoch, st.Policy, state)
+	if st.UntilNs > 0 {
+		fmt.Printf("  until=%v", time.Duration(st.UntilNs))
+	}
+	fmt.Printf("  log=%d\n", st.Log)
+	for _, t := range st.Tenants {
+		fmt.Printf("  tenant %s\n", t)
+	}
+}
+
+func main() {
+	socket := flag.String("socket", "/tmp/resexd.sock", "daemon unix socket")
+	flag.Usage = usage
+	flag.Parse()
+	if flag.NArg() < 1 {
+		usage()
+	}
+	cmd := build(flag.Args())
+
+	conn, err := daemon.Dial(*socket)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "resexctl: cannot reach daemon at %s: %v\n", *socket, err)
+		os.Exit(1)
+	}
+	defer conn.Close()
+
+	if cmd.Cmd == "watch" {
+		watch(conn, cmd.N)
+		return
+	}
+
+	rep, err := daemon.Roundtrip(conn, cmd)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "resexctl:", err)
+		os.Exit(1)
+	}
+	if !rep.OK {
+		fmt.Fprintln(os.Stderr, "resexctl:", rep.Error)
+		os.Exit(1)
+	}
+	if rep.Status != nil {
+		printStatus(rep.Status)
+		return
+	}
+	if rep.Msg != "" {
+		fmt.Println(rep.Msg)
+	}
+}
+
+// watch subscribes and prints raw telemetry lines — resextop -attach renders
+// them as a table; resexctl keeps the JSON for scripting.
+func watch(conn interface {
+	Write([]byte) (int, error)
+	Read([]byte) (int, error)
+}, n int64) {
+	wire, _ := json.Marshal(daemon.Command{Cmd: "watch"})
+	if _, err := conn.Write(append(wire, '\n')); err != nil {
+		fmt.Fprintln(os.Stderr, "resexctl:", err)
+		os.Exit(1)
+	}
+	r := bufio.NewReader(conn)
+	if _, err := daemon.ReadReply(r); err != nil {
+		fmt.Fprintln(os.Stderr, "resexctl:", err)
+		os.Exit(1)
+	}
+	var printed int64
+	for n == 0 || printed < n {
+		line, err := r.ReadBytes('\n')
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "resexctl: stream closed:", err)
+			os.Exit(1)
+		}
+		var tl daemon.TelemetryLine
+		if err := json.Unmarshal(line, &tl); err != nil {
+			continue // interleaved reply line, not a sample
+		}
+		os.Stdout.Write(line)
+		printed++
+	}
+}

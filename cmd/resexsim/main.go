@@ -8,6 +8,19 @@
 //	resexsim -fig fig5 -duration 10s   # longer measured window
 //	resexsim -list                     # available figures
 //
+// Checkpoint/restore:
+//
+//	resexsim -fig fig7 -snapshot run.snap -snapshot-at 1s
+//	resexsim -restore run.snap
+//
+// The first form runs the figure normally (its output is byte-identical to
+// a run without -snapshot) and additionally captures every engine's full
+// state at the given virtual time into run.snap. The second rebuilds the
+// run from the snapshot's recorded inputs, replays it to the capture point
+// under byte-for-byte state verification, and runs to the end: stdout is
+// byte-identical to the uninterrupted run, and any state divergence at the
+// capture point is a hard error.
+//
 // The -duration flag trades fidelity for wall time; the defaults give
 // stable shapes in a few seconds per figure.
 package main
@@ -18,15 +31,19 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"runtime"
 	"strings"
+	"sync"
+	"syscall"
 	"time"
 
 	"resex/internal/experiments"
 	"resex/internal/invariant"
 	"resex/internal/report"
 	"resex/internal/sim"
+	"resex/internal/snapshot"
 )
 
 // listExperiments writes every registered experiment, sorted by id and
@@ -46,19 +63,74 @@ func listExperiments(w io.Writer, indent string) {
 	}
 }
 
+// usageErr prints a one-line complaint plus the flag usage and exits 2, the
+// conventional bad-invocation status.
+func usageErr(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "resexsim: "+format+"\n", args...)
+	flag.Usage()
+	os.Exit(2)
+}
+
+// progress tracks the run for the signal handler's partial summary: which
+// experiments finished and which one a SIGINT/SIGTERM caught in flight.
+type progress struct {
+	mu        sync.Mutex
+	total     int
+	completed []string
+	current   string
+}
+
+func (p *progress) start(id string) {
+	p.mu.Lock()
+	p.current = id
+	p.mu.Unlock()
+}
+
+func (p *progress) done(id string) {
+	p.mu.Lock()
+	p.completed = append(p.completed, id)
+	p.current = ""
+	p.mu.Unlock()
+}
+
+// interrupt flushes the partial summary and exits with the conventional
+// 128+signal status. Results already printed stay on stdout; the summary
+// goes to stderr so interrupted and complete runs never mix streams.
+func (p *progress) interrupt(sig os.Signal) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	fmt.Fprintf(os.Stderr, "resexsim: caught %v; completed %d/%d experiments",
+		sig, len(p.completed), p.total)
+	if len(p.completed) > 0 {
+		fmt.Fprintf(os.Stderr, " (%s)", strings.Join(p.completed, ", "))
+	}
+	if p.current != "" {
+		fmt.Fprintf(os.Stderr, "; %s was in flight and is discarded", p.current)
+	}
+	fmt.Fprintln(os.Stderr)
+	code := 130 // SIGINT
+	if sig == syscall.SIGTERM {
+		code = 143
+	}
+	os.Exit(code)
+}
+
 func main() {
 	var (
-		fig      = flag.String("fig", "", "figure to reproduce (fig1..fig9)")
-		all      = flag.Bool("all", false, "reproduce every figure")
-		list     = flag.Bool("list", false, "list available figures")
-		csv      = flag.Bool("csv", false, "emit CSV instead of text")
-		jsonOut  = flag.Bool("json", false, "emit result structs as JSON")
-		svgDir   = flag.String("svg", "", "also write <dir>/<fig>.svg charts")
-		duration = flag.Duration("duration", 2*time.Second, "measured virtual time per run")
-		warmup   = flag.Duration("warmup", 100*time.Millisecond, "virtual warmup before measuring")
-		seed     = flag.Int64("seed", 0, "workload seed offset (same seed = byte-identical output)")
-		parallel = flag.Int("parallel", runtime.GOMAXPROCS(0), "worker pool size for a figure's independent sweep points (output is byte-identical at any value)")
-		audit    = flag.Bool("audit", false, "run the invariant auditor alongside every figure and print its summary (deterministic; cannot change figure output)")
+		fig        = flag.String("fig", "", "figure to reproduce (fig1..fig9)")
+		all        = flag.Bool("all", false, "reproduce every figure")
+		list       = flag.Bool("list", false, "list available figures")
+		csv        = flag.Bool("csv", false, "emit CSV instead of text")
+		jsonOut    = flag.Bool("json", false, "emit result structs as JSON")
+		svgDir     = flag.String("svg", "", "also write <dir>/<fig>.svg charts")
+		duration   = flag.Duration("duration", 2*time.Second, "measured virtual time per run")
+		warmup     = flag.Duration("warmup", 100*time.Millisecond, "virtual warmup before measuring")
+		seed       = flag.Int64("seed", 0, "workload seed offset (same seed = byte-identical output)")
+		parallel   = flag.Int("parallel", runtime.GOMAXPROCS(0), "worker pool size for a figure's independent sweep points (output is byte-identical at any value)")
+		audit      = flag.Bool("audit", false, "run the invariant auditor alongside every figure and print its summary (deterministic; cannot change figure output)")
+		snapFile   = flag.String("snapshot", "", "capture every engine's state into this file (requires a single -fig)")
+		snapAt     = flag.Duration("snapshot-at", 0, "virtual capture time for -snapshot, measured from engine start (default warmup + duration/2)")
+		restoreArg = flag.String("restore", "", "restore from a snapshot file: rebuild, replay under state verification, run to the end (exclusive with -fig/-all)")
 	)
 	flag.Parse()
 
@@ -67,16 +139,67 @@ func main() {
 		return
 	}
 
+	// Validate the numeric flags before any simulation work: a bad width or
+	// window must die with usage, not misbehave minutes in.
+	if *parallel < 1 {
+		usageErr("-parallel must be >= 1 (got %d)", *parallel)
+	}
+	if *duration <= 0 {
+		usageErr("-duration must be positive (got %v)", *duration)
+	}
+	if *warmup < 0 {
+		usageErr("-warmup must not be negative (got %v)", *warmup)
+	}
+	if *snapAt < 0 {
+		usageErr("-snapshot-at must not be negative (got %v)", *snapAt)
+	}
+
+	var plan *snapshot.Plan
+	var bundle *snapshot.Bundle
 	var ids []string
 	switch {
+	case *restoreArg != "":
+		if *fig != "" || *all || *snapFile != "" {
+			usageErr("-restore replays the snapshot's own run; it cannot combine with -fig, -all or -snapshot")
+		}
+		var err error
+		bundle, err = snapshot.ReadFile(*restoreArg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "resexsim:", err)
+			os.Exit(1)
+		}
+		if bundle.Meta.Kind != "experiment" {
+			fmt.Fprintf(os.Stderr, "resexsim: %s holds a %q snapshot, not an experiment (use resexctl restore)\n",
+				*restoreArg, bundle.Meta.Kind)
+			os.Exit(1)
+		}
+		// The run is a pure function of its recorded inputs: id, seed,
+		// windows and audit mode all come from the file, not from flags.
+		ids = []string{bundle.Meta.Experiment}
+		*seed = bundle.Meta.Seed
+		*duration = time.Duration(bundle.Meta.DurationNs)
+		*warmup = time.Duration(bundle.Meta.WarmupNs)
+		*audit = bundle.Meta.Audit
+		plan = snapshot.NewVerify(bundle)
 	case *all:
+		if *snapFile != "" {
+			usageErr("-snapshot records a single experiment's run; use -fig, not -all")
+		}
 		ids = experiments.IDs()
 	case *fig != "":
 		ids = []string{*fig}
 	default:
-		fmt.Fprintln(os.Stderr, "resexsim: need -fig <id>, -all or -list")
+		fmt.Fprintln(os.Stderr, "resexsim: need -fig <id>, -all, -list or -restore <file>")
 		flag.Usage()
 		os.Exit(2)
+	}
+
+	if *snapFile != "" {
+		at := sim.Time(snapAt.Nanoseconds())
+		if at == 0 {
+			at = sim.Time(warmup.Nanoseconds()) + sim.Time(duration.Nanoseconds())/2
+		}
+		plan = snapshot.NewCapture(at)
 	}
 
 	// Validate every id up front: an unknown experiment must fail fast with
@@ -89,16 +212,25 @@ func main() {
 		}
 	}
 
+	prog := &progress{total: len(ids)}
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, syscall.SIGINT, syscall.SIGTERM)
+	go func() {
+		prog.interrupt(<-sigCh)
+	}()
+
 	opts := experiments.Options{
-		Duration: sim.Time(duration.Nanoseconds()),
-		Warmup:   sim.Time(warmup.Nanoseconds()),
-		Seed:     *seed,
-		Parallel: *parallel,
+		Duration:   sim.Time(duration.Nanoseconds()),
+		Warmup:     sim.Time(warmup.Nanoseconds()),
+		Seed:       *seed,
+		Parallel:   *parallel,
+		Checkpoint: plan,
 	}
 	var index []report.IndexEntry
 	for _, id := range ids {
 		e, _ := experiments.Lookup(id)
 		start := time.Now()
+		prog.start(id)
 		runOpts := opts
 		var col *invariant.Collector
 		if *audit {
@@ -164,6 +296,35 @@ func main() {
 				os.Exit(1)
 			}
 		}
+		prog.done(id)
+	}
+	switch {
+	case *snapFile != "":
+		b, err := plan.Bundle(snapshot.Meta{
+			Kind:       "experiment",
+			Experiment: ids[0],
+			Seed:       *seed,
+			DurationNs: duration.Nanoseconds(),
+			WarmupNs:   warmup.Nanoseconds(),
+			Audit:      *audit,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "resexsim:", err)
+			os.Exit(1)
+		}
+		if err := snapshot.WriteFile(*snapFile, b); err != nil {
+			fmt.Fprintln(os.Stderr, "resexsim:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s (%d engine snapshots at T=%v)\n",
+			*snapFile, len(b.Snaps), sim.Time(b.Meta.SnapshotAtNs))
+	case *restoreArg != "":
+		if err := plan.Err(); err != nil {
+			fmt.Fprintln(os.Stderr, "resexsim:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "restore verified: replayed state matches %s at T=%v\n",
+			*restoreArg, sim.Time(bundle.Meta.SnapshotAtNs))
 	}
 	if *svgDir != "" && len(index) > 0 {
 		page := report.HTMLIndex("ResEx reproduction — figures and ablations", index)
@@ -174,4 +335,5 @@ func main() {
 		}
 		fmt.Fprintf(os.Stderr, "wrote %s\n", path)
 	}
+	signal.Stop(sigCh)
 }

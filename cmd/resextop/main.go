@@ -9,22 +9,28 @@
 //	resextop -policy freemarket -duration 3s -refresh 250ms
 //	resextop -faults 4             # inject 4 fault storms/s; watch health
 //	resextop -workload             # multi-tenant traffic engine instead
+//	resextop -attach /tmp/resexd.sock   # render a live resexd session
 //
 // Each refresh also shows the host's health (OK/degraded/blackout) and every
 // VM's IBMon telemetry confidence, which matter once faults are injected.
 // With -workload the rig is the traffic engine's mixed-class scenario (a
 // closed-loop latency tenant against a bursty 2 MB bulk tenant) and every
 // refresh adds per-tenant columns: offered load, inflight, p99 and SLO
-// attainment over the refresh window.
+// attainment over the refresh window. With -attach, resextop runs nothing
+// itself: it subscribes to a running resexd daemon's telemetry stream and
+// renders each sample with the same columns.
 package main
 
 import (
+	"bufio"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"strings"
 	"time"
 
+	"resex/internal/daemon"
 	"resex/internal/experiments"
 	"resex/internal/faults"
 	"resex/internal/resex"
@@ -40,8 +46,15 @@ func main() {
 		storms     = flag.Float64("faults", 0, "fault storms per second to inject (0 = none)")
 		seed       = flag.Int64("seed", 0, "fault schedule seed")
 		useWL      = flag.Bool("workload", false, "drive the multi-tenant traffic engine instead of the benchex scenario")
+		attach     = flag.String("attach", "", "render a running resexd daemon's telemetry stream from this unix socket")
+		samples    = flag.Int("samples", 0, "with -attach: exit after this many samples (0 = stream forever)")
 	)
 	flag.Parse()
+
+	if *attach != "" {
+		runAttached(*attach, *samples)
+		return
+	}
 
 	mkPolicy := func() resex.Policy {
 		switch strings.ToLower(*policyName) {
@@ -238,4 +251,83 @@ func runWorkloadTop(mkPolicy func() resex.Policy, policyName string, duration, r
 	e.Start()
 	e.TB.Eng.RunUntil(sim.Time(duration.Nanoseconds()))
 	e.Shutdown()
+}
+
+// runAttached subscribes to a resexd daemon's telemetry stream and renders
+// each sample as a table: the daemon owns the simulation and its pacing;
+// resextop here is a pure viewer.
+func runAttached(socket string, samples int) {
+	conn, err := daemon.Dial(socket)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "resextop: cannot reach daemon at %s: %v\n", socket, err)
+		os.Exit(1)
+	}
+	defer conn.Close()
+	wire, _ := json.Marshal(daemon.Command{Cmd: "watch"})
+	if _, err := conn.Write(append(wire, '\n')); err != nil {
+		fmt.Fprintln(os.Stderr, "resextop:", err)
+		os.Exit(1)
+	}
+	r := bufio.NewReader(conn)
+	if rep, err := daemon.ReadReply(r); err != nil || !rep.OK {
+		fmt.Fprintf(os.Stderr, "resextop: watch refused: %v %s\n", err, rep.Error)
+		os.Exit(1)
+	}
+
+	fmt.Printf("resextop — attached to %s\n", socket)
+	seen := 0
+	for samples == 0 || seen < samples {
+		line, err := r.ReadBytes('\n')
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "resextop: daemon stream closed:", err)
+			os.Exit(1)
+		}
+		var tl daemon.TelemetryLine
+		if err := json.Unmarshal(line, &tl); err != nil || tl.Telemetry.Epoch == 0 && tl.Telemetry.AtNs == 0 && tl.Telemetry.Policy == "" {
+			continue // a command reply interleaved on this connection
+		}
+		render(tl.Telemetry)
+		seen++
+	}
+}
+
+// render prints one daemon telemetry sample with resextop's columns.
+func render(t daemon.Telemetry) {
+	state := ""
+	if t.Paused {
+		state = "  [paused]"
+	}
+	fmt.Printf("\n[t=%v  epoch %d  policy %s]%s\n",
+		time.Duration(t.AtNs), t.Epoch, t.Policy, state)
+	fmt.Printf("%-18s %7s %6s %12s %7s %6s %8s\n",
+		"VM", "rate", "cap%", "resos", "MTU/s", "conf", "intf?")
+	for _, vm := range t.VMs {
+		capStr := "-"
+		if vm.CapPct > 0 {
+			capStr = fmt.Sprintf("%d", vm.CapPct)
+		}
+		intf := ""
+		if vm.Interfered {
+			intf = "victim"
+		} else if vm.Rate > 1 {
+			intf = "taxed"
+		}
+		fmt.Printf("%-18s %7.2f %6s %12d %7.0f %6.2f %8s\n",
+			vm.Name, vm.Rate, capStr, vm.Resos, vm.MTURate, vm.Confidence, intf)
+	}
+	fmt.Printf("%-10s %10s %11s %8s %7s %9s %7s\n",
+		"tenant", "offered/s", "completed/s", "inflight", "queued", "p99(µs)", "SLO%")
+	for _, tn := range t.Tenants {
+		name := tn.Name
+		if !tn.Running {
+			name += "*" // stopped
+		}
+		slo := "-"
+		if tn.AttainPct > 0 {
+			slo = fmt.Sprintf("%.1f", tn.AttainPct)
+		}
+		fmt.Printf("%-10s %10.0f %11.0f %8d %7d %9.0f %7s\n",
+			name, tn.OfferedPerSec, tn.CompletedPerSec,
+			tn.Inflight, tn.Queued, tn.P99, slo)
+	}
 }

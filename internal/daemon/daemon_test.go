@@ -1,0 +1,274 @@
+package daemon
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"resex/internal/snapshot"
+)
+
+func testConfig() Config {
+	return Config{
+		Seed:      7,
+		Policy:    "freemarket",
+		QuantumNs: int64(DefaultQuantum),
+		Tenants: []TenantConfig{
+			{Name: "lat", Class: "latency"},
+			{Name: "bulk", Class: "bulk"},
+		},
+	}
+}
+
+// telemetryJSON renders a sample canonically for byte-comparison.
+func telemetryJSON(t *testing.T, s *Session) string {
+	t.Helper()
+	j, err := json.Marshal(s.Telemetry())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(j)
+}
+
+// TestSessionSnapshotRestoreDeterminism is the daemon's core property: a
+// session driven by live commands, snapshotted mid-flight, restored (with
+// byte-for-byte state verification at the capture boundary), and advanced
+// further produces the exact telemetry stream of the uninterrupted session.
+func TestSessionSnapshotRestoreDeterminism(t *testing.T) {
+	drive := func(s *Session) {
+		for i := 0; i < 5; i++ {
+			s.Step()
+		}
+		if err := s.Apply(Command{Cmd: "add-tenant", Name: "open1", Class: "open", Rate: 400}); err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 3; i++ {
+			s.Step()
+		}
+		if err := s.Apply(Command{Cmd: "policy", Name: "ioshares"}); err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 2; i++ {
+			s.Step()
+		}
+	}
+
+	orig, err := New(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	drive(orig)
+	bundle := orig.Snapshot()
+
+	// The bundle crosses the wire format, as resexd writes it to disk.
+	var buf bytes.Buffer
+	if err := snapshot.Encode(&buf, bundle); err != nil {
+		t.Fatal(err)
+	}
+	decoded, err := snapshot.Decode(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	restored, err := Restore(decoded)
+	if err != nil {
+		t.Fatalf("Restore: %v", err)
+	}
+	if restored.Epoch() != orig.Epoch() || restored.Now() != orig.Now() {
+		t.Fatalf("restored cursor (%d, %v) != original (%d, %v)",
+			restored.Epoch(), restored.Now(), orig.Epoch(), orig.Now())
+	}
+
+	// Continue both sessions with a further live command and more quanta;
+	// every sample must agree byte-for-byte.
+	for i := 0; i < 10; i++ {
+		if i == 4 {
+			if err := orig.Apply(Command{Cmd: "remove-tenant", Name: "bulk"}); err != nil {
+				t.Fatal(err)
+			}
+			if err := restored.Apply(Command{Cmd: "remove-tenant", Name: "bulk"}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		orig.Step()
+		restored.Step()
+		a, b := telemetryJSON(t, orig), telemetryJSON(t, restored)
+		if a != b {
+			t.Fatalf("telemetry diverged at continuation step %d:\n%s\n%s", i, a, b)
+		}
+	}
+}
+
+// TestRestoreDetectsCorruptReplay holds the verification to its promise: a
+// snapshot whose recorded state disagrees with the replay must be rejected,
+// not silently accepted.
+func TestRestoreDetectsCorruptReplay(t *testing.T) {
+	s, err := New(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		s.Step()
+	}
+	b := s.Snapshot()
+	// Corrupt one engine counter in the recorded export.
+	b.Snaps[0].State.Engine.Steps += 1
+	if _, err := Restore(b); err == nil || !strings.Contains(err.Error(), "diverges") {
+		t.Fatalf("corrupted snapshot restored without complaint: %v", err)
+	}
+}
+
+// TestRestoreRejectsWrongKind keeps experiment snapshots out of the daemon.
+func TestRestoreRejectsWrongKind(t *testing.T) {
+	if _, err := Restore(&snapshot.Bundle{Meta: snapshot.Meta{Kind: "experiment"}}); err == nil {
+		t.Fatal("experiment bundle restored as a daemon session")
+	}
+}
+
+// TestSessionCommandValidation covers the command surface's error paths.
+func TestSessionCommandValidation(t *testing.T) {
+	s, err := New(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []Command{
+		{Cmd: "add-tenant", Name: "lat", Class: "latency"}, // duplicate name
+		{Cmd: "add-tenant", Name: "x", Class: "warp"},      // unknown class
+		{Cmd: "add-tenant", Class: "open"},                 // missing name
+		{Cmd: "remove-tenant", Name: "ghost"},              // unknown tenant
+		{Cmd: "policy", Name: "laissez-faire"},             // unknown policy
+		{Cmd: "step"},                                      // server verb, not session
+	}
+	logBefore := len(s.Log())
+	for _, c := range cases {
+		if err := s.Apply(c); err == nil {
+			t.Errorf("Apply(%+v) succeeded, want error", c)
+		}
+	}
+	if got := len(s.Log()); got != logBefore {
+		t.Errorf("failed commands entered the replay log (%d new entries)", got-logBefore)
+	}
+
+	if _, err := ParseCommand([]byte(`{"cmd":"run","bogus":1}`)); err == nil {
+		t.Error("ParseCommand accepted an unknown field")
+	}
+	if _, err := ParseCommand([]byte(`{}`)); err == nil {
+		t.Error("ParseCommand accepted a command without a verb")
+	}
+}
+
+// TestServerEndToEnd drives a live daemon over its unix socket: status,
+// stepping, a live tenant add, snapshot to disk, restore, and quit.
+func TestServerEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	sock := filepath.Join(dir, "resexd.sock")
+	snap := filepath.Join(dir, "run.snap")
+	cmdlog := filepath.Join(dir, "commands.jsonl")
+
+	s, err := New(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := NewServer(s, ServerConfig{Socket: sock, CommandLog: cmdlog})
+	if err != nil {
+		t.Fatal(err)
+	}
+	served := make(chan error, 1)
+	go func() { served <- srv.Serve() }()
+
+	var conn interface {
+		Write([]byte) (int, error)
+		Read([]byte) (int, error)
+		Close() error
+	}
+	for i := 0; ; i++ {
+		c, err := Dial(sock)
+		if err == nil {
+			conn = c
+			break
+		}
+		if i > 100 {
+			t.Fatalf("daemon never came up: %v", err)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	defer conn.Close()
+	r := bufio.NewReader(conn)
+	send := func(c Command) Reply {
+		t.Helper()
+		wire, _ := json.Marshal(c)
+		if _, err := conn.Write(append(wire, '\n')); err != nil {
+			t.Fatal(err)
+		}
+		rep, err := ReadReply(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep
+	}
+	mustOK := func(c Command) Reply {
+		t.Helper()
+		rep := send(c)
+		if !rep.OK {
+			t.Fatalf("%s failed: %s", c.Cmd, rep.Error)
+		}
+		return rep
+	}
+
+	rep := mustOK(Command{Cmd: "status"})
+	if rep.Status == nil || !rep.Status.Paused || rep.Status.Epoch != 0 {
+		t.Fatalf("fresh daemon status: %+v", rep.Status)
+	}
+	mustOK(Command{Cmd: "step", N: 3})
+	mustOK(Command{Cmd: "add-tenant", Name: "open1", Class: "open", Rate: 300})
+	mustOK(Command{Cmd: "step", N: 2})
+	mustOK(Command{Cmd: "snapshot", Path: snap})
+	rep = mustOK(Command{Cmd: "status"})
+	if rep.Status.Epoch != 5 || len(rep.Status.Tenants) != 3 {
+		t.Fatalf("post-step status: %+v", rep.Status)
+	}
+	if bad := send(Command{Cmd: "run-until", TNs: 1}); bad.OK {
+		t.Fatal("run-until into the past succeeded")
+	}
+	mustOK(Command{Cmd: "restore", Path: snap})
+	rep = mustOK(Command{Cmd: "status"})
+	if rep.Status.Epoch != 5 {
+		t.Fatalf("restored status: %+v", rep.Status)
+	}
+	mustOK(Command{Cmd: "quit"})
+	if err := <-served; err != nil {
+		t.Fatalf("Serve: %v", err)
+	}
+
+	// The snapshot must also restore out-of-process.
+	b, err := snapshot.ReadFile(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := Restore(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s2.Epoch() != 5 {
+		t.Fatalf("offline restore epoch = %d, want 5", s2.Epoch())
+	}
+	s2.Shutdown()
+
+	// Every command the server received is in the durable log.
+	logBytes, err := readFileAll(cmdlog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, verb := range []string{"status", "step", "add-tenant", "snapshot", "restore", "quit"} {
+		if !strings.Contains(string(logBytes), `"cmd":"`+verb+`"`) {
+			t.Errorf("command log missing %q", verb)
+		}
+	}
+}
+
+func readFileAll(path string) ([]byte, error) { return os.ReadFile(path) }

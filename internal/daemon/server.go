@@ -1,0 +1,416 @@
+package daemon
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"net"
+	"os"
+	"sync"
+	"time"
+
+	"resex/internal/sim"
+	"resex/internal/snapshot"
+)
+
+// Reply is the server's one-line JSON answer to a command.
+type Reply struct {
+	OK    bool   `json:"ok"`
+	Msg   string `json:"msg,omitempty"`
+	Error string `json:"error,omitempty"`
+	// Status carries the session status for the "status" verb.
+	Status *Status `json:"status,omitempty"`
+}
+
+// Status summarizes the session for resexctl status.
+type Status struct {
+	AtNs    int64    `json:"at_ns"`
+	Epoch   int64    `json:"epoch"`
+	Policy  string   `json:"policy"`
+	Paused  bool     `json:"paused"`
+	UntilNs int64    `json:"until_ns,omitempty"`
+	Tenants []string `json:"tenants,omitempty"`
+	Log     int      `json:"log_entries"`
+}
+
+// TelemetryLine wraps a telemetry sample on the watch stream, so watchers
+// can tell samples from command replies.
+type TelemetryLine struct {
+	Telemetry Telemetry `json:"telemetry"`
+}
+
+// ServerConfig parameterizes Serve.
+type ServerConfig struct {
+	// Socket is the unix socket path to listen on.
+	Socket string
+	// Throttle is the wall-clock pause between quanta while running: 0
+	// free-runs (tests, batch), 100ms makes an attached resextop read like
+	// live top output.
+	Throttle time.Duration
+	// CommandLog, when non-empty, appends every received command — state,
+	// pacing and I/O verbs alike — as one JSON line {at_ns, epoch, cmd}.
+	CommandLog string
+	// Logf receives daemon diagnostics; nil discards them.
+	Logf func(format string, args ...any)
+}
+
+// request is one parsed command plus its reply path. written is closed once
+// the reply has been encoded to the client, so quit can hold shutdown until
+// its acknowledgement is actually on the wire.
+type request struct {
+	cmd     Command
+	reply   chan Reply
+	written chan struct{}
+}
+
+// Server drives a session under a unix-socket control loop. All session
+// access happens on the loop goroutine: connections only parse commands and
+// enqueue them, so commands land exactly at quantum boundaries and the
+// session stays single-threaded (and therefore deterministic).
+type Server struct {
+	cfg     ServerConfig
+	ln      net.Listener
+	reqs    chan request
+	done    chan struct{}
+	cmdLog  *os.File
+	logf    func(string, ...any)
+	session *Session
+
+	mu       sync.Mutex
+	watchers map[net.Conn]*json.Encoder
+}
+
+// NewServer wraps a session. The caller keeps ownership of cfg.Socket's
+// path; any stale socket file there is replaced.
+func NewServer(s *Session, cfg ServerConfig) (*Server, error) {
+	logf := cfg.Logf
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	if err := os.Remove(cfg.Socket); err != nil && !os.IsNotExist(err) {
+		return nil, fmt.Errorf("daemon: stale socket: %w", err)
+	}
+	ln, err := net.Listen("unix", cfg.Socket)
+	if err != nil {
+		return nil, err
+	}
+	srv := &Server{
+		cfg:      cfg,
+		ln:       ln,
+		reqs:     make(chan request, 16),
+		done:     make(chan struct{}),
+		logf:     logf,
+		session:  s,
+		watchers: make(map[net.Conn]*json.Encoder),
+	}
+	if cfg.CommandLog != "" {
+		f, err := os.OpenFile(cfg.CommandLog, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			ln.Close()
+			return nil, err
+		}
+		srv.cmdLog = f
+	}
+	return srv, nil
+}
+
+// Serve accepts connections and runs the session loop until a quit command
+// or Close. It returns after the session is shut down.
+func (srv *Server) Serve() error {
+	srv.logf("resexd: listening on %s (policy %s, quantum %v)",
+		srv.cfg.Socket, srv.session.PolicyName(), srv.session.Quantum())
+	go srv.acceptLoop()
+	srv.loop()
+	srv.logf("resexd: session ended at %v (epoch %d)", srv.session.Now(), srv.session.Epoch())
+	srv.ln.Close()
+	srv.mu.Lock()
+	for c := range srv.watchers {
+		c.Close()
+	}
+	srv.mu.Unlock()
+	if srv.cmdLog != nil {
+		srv.cmdLog.Close()
+	}
+	srv.session.Shutdown()
+	return nil
+}
+
+// Close requests shutdown from outside the loop (signal handlers).
+func (srv *Server) Close() {
+	written := make(chan struct{})
+	close(written) // no client is waiting on this reply
+	select {
+	case srv.reqs <- request{cmd: Command{Cmd: "quit"}, reply: make(chan Reply, 1), written: written}:
+	case <-srv.done:
+	}
+}
+
+func (srv *Server) acceptLoop() {
+	for {
+		conn, err := srv.ln.Accept()
+		if err != nil {
+			return
+		}
+		go srv.serveConn(conn)
+	}
+}
+
+// serveConn reads newline-delimited JSON commands. "watch" subscribes the
+// connection to the telemetry stream (it keeps accepting commands too).
+func (srv *Server) serveConn(conn net.Conn) {
+	defer func() {
+		srv.mu.Lock()
+		delete(srv.watchers, conn)
+		srv.mu.Unlock()
+		conn.Close()
+	}()
+	enc := json.NewEncoder(conn)
+	sc := bufio.NewScanner(conn)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		cmd, err := ParseCommand(line)
+		if err != nil {
+			if encErr := enc.Encode(Reply{OK: false, Error: err.Error()}); encErr != nil {
+				return
+			}
+			continue
+		}
+		if cmd.Cmd == "watch" {
+			srv.mu.Lock()
+			srv.watchers[conn] = enc
+			srv.mu.Unlock()
+			if err := enc.Encode(Reply{OK: true, Msg: "watching"}); err != nil {
+				return
+			}
+			continue
+		}
+		req := request{cmd: cmd, reply: make(chan Reply, 1), written: make(chan struct{})}
+		select {
+		case srv.reqs <- req:
+		case <-srv.done:
+			enc.Encode(Reply{OK: false, Error: "daemon shutting down"})
+			return
+		}
+		select {
+		case rep := <-req.reply:
+			err := enc.Encode(rep)
+			close(req.written)
+			if err != nil {
+				return
+			}
+		case <-srv.done:
+			enc.Encode(Reply{OK: false, Error: "daemon shutting down"})
+			return
+		}
+	}
+}
+
+// loop owns the session: drain due commands, step one quantum when running,
+// broadcast telemetry, repeat. Paused (or target-reached) sessions block on
+// the command channel instead of spinning.
+func (srv *Server) loop() {
+	defer close(srv.done)
+	paused := true // sessions start held; "run" or "step" sets them moving
+	var until sim.Time
+	srv.broadcast(true)
+	for {
+		// Apply everything already queued — commands land between quanta.
+		for {
+			select {
+			case req := <-srv.reqs:
+				if srv.handle(req, &paused, &until) {
+					return
+				}
+				continue
+			default:
+			}
+			break
+		}
+		running := !paused && (until == 0 || srv.session.Now() < until)
+		if !running {
+			// Block until someone tells us something.
+			req := <-srv.reqs
+			if srv.handle(req, &paused, &until) {
+				return
+			}
+			continue
+		}
+		srv.session.Step()
+		if until != 0 && srv.session.Now() >= until {
+			paused, until = true, 0
+		}
+		srv.broadcast(paused)
+		if srv.cfg.Throttle > 0 {
+			time.Sleep(srv.cfg.Throttle)
+		}
+	}
+}
+
+// broadcast sends one telemetry sample to every watcher, dropping
+// connections whose writes fail.
+func (srv *Server) broadcast(paused bool) {
+	t := srv.session.Telemetry()
+	t.Paused = paused
+	srv.mu.Lock()
+	defer srv.mu.Unlock()
+	for conn, enc := range srv.watchers {
+		if err := enc.Encode(TelemetryLine{Telemetry: t}); err != nil {
+			delete(srv.watchers, conn)
+			conn.Close()
+		}
+	}
+}
+
+// logCommand appends the command to the durable command log, stamped with
+// the quantum boundary it executed at.
+func (srv *Server) logCommand(c Command) {
+	if srv.cmdLog == nil {
+		return
+	}
+	wire, _ := json.Marshal(c)
+	entry, _ := json.Marshal(snapshot.LogEntry{
+		Idx:  srv.session.Epoch(),
+		AtNs: int64(srv.session.Now()),
+		Cmd:  wire,
+	})
+	fmt.Fprintf(srv.cmdLog, "%s\n", entry)
+}
+
+// handle executes one command at the current boundary. Returns true on
+// quit.
+func (srv *Server) handle(req request, paused *bool, until *sim.Time) bool {
+	c := req.cmd
+	srv.logCommand(c)
+	ok := func(format string, args ...any) {
+		req.reply <- Reply{OK: true, Msg: fmt.Sprintf(format, args...)}
+	}
+	fail := func(err error) {
+		req.reply <- Reply{OK: false, Error: err.Error()}
+	}
+	switch c.Cmd {
+	case "quit":
+		ok("shutting down at %v", srv.session.Now())
+		// Hold shutdown until the acknowledgement reaches the client; the
+		// timeout covers a client that vanished mid-command.
+		select {
+		case <-req.written:
+		case <-time.After(time.Second):
+		}
+		return true
+	case "status":
+		s := srv.session
+		st := &Status{
+			AtNs:    int64(s.Now()),
+			Epoch:   s.Epoch(),
+			Policy:  s.PolicyName(),
+			Paused:  *paused,
+			UntilNs: int64(*until),
+			Log:     len(s.log),
+		}
+		for _, tn := range s.Workload().Tenants() {
+			name := tn.Spec.Name
+			if !tn.Running() {
+				name += " (stopped)"
+			}
+			st.Tenants = append(st.Tenants, name)
+		}
+		req.reply <- Reply{OK: true, Status: st}
+	case "pause":
+		*paused = true
+		srv.broadcast(true)
+		ok("paused at %v (epoch %d)", srv.session.Now(), srv.session.Epoch())
+	case "run":
+		*paused, *until = false, 0
+		ok("running from %v", srv.session.Now())
+	case "run-until":
+		if sim.Time(c.TNs) <= srv.session.Now() {
+			fail(fmt.Errorf("daemon: run-until target %v is not ahead of %v", sim.Time(c.TNs), srv.session.Now()))
+			break
+		}
+		*paused, *until = false, sim.Time(c.TNs)
+		ok("running until %v", sim.Time(c.TNs))
+	case "step":
+		n := c.N
+		if n <= 0 {
+			n = 1
+		}
+		for i := int64(0); i < n; i++ {
+			srv.session.Step()
+			srv.broadcast(i == n-1)
+		}
+		*paused, *until = true, 0
+		ok("stepped %d quanta to %v (epoch %d)", n, srv.session.Now(), srv.session.Epoch())
+	case "snapshot":
+		if c.Path == "" {
+			fail(fmt.Errorf("daemon: snapshot needs a path"))
+			break
+		}
+		if err := snapshot.WriteFile(c.Path, srv.session.Snapshot()); err != nil {
+			fail(err)
+			break
+		}
+		ok("snapshot written to %s at %v (epoch %d)", c.Path, srv.session.Now(), srv.session.Epoch())
+	case "restore":
+		if c.Path == "" {
+			fail(fmt.Errorf("daemon: restore needs a path"))
+			break
+		}
+		b, err := snapshot.ReadFile(c.Path)
+		if err != nil {
+			fail(err)
+			break
+		}
+		s, err := Restore(b)
+		if err != nil {
+			fail(err)
+			break
+		}
+		old := srv.session
+		srv.session = s
+		old.Shutdown()
+		*paused, *until = true, 0
+		srv.broadcast(true)
+		ok("restored %s: verified at %v (epoch %d)", c.Path, s.Now(), s.Epoch())
+	case "add-tenant", "remove-tenant", "policy":
+		if err := srv.session.Apply(c); err != nil {
+			fail(err)
+			break
+		}
+		ok("%s applied at %v (epoch %d)", c.Cmd, srv.session.Now(), srv.session.Epoch())
+	default:
+		fail(fmt.Errorf("daemon: unknown command %q", c.Cmd))
+	}
+	return false
+}
+
+// Dial connects a client to a daemon socket.
+func Dial(socket string) (net.Conn, error) {
+	return net.Dial("unix", socket)
+}
+
+// Roundtrip sends one command and reads one reply on an established
+// connection — the resexctl client's whole protocol.
+func Roundtrip(conn net.Conn, c Command) (Reply, error) {
+	enc := json.NewEncoder(conn)
+	if err := enc.Encode(c); err != nil {
+		return Reply{}, err
+	}
+	return ReadReply(bufio.NewReader(conn))
+}
+
+// ReadReply reads one JSON reply line.
+func ReadReply(r *bufio.Reader) (Reply, error) {
+	line, err := r.ReadBytes('\n')
+	if err != nil {
+		return Reply{}, err
+	}
+	var rep Reply
+	if err := json.Unmarshal(line, &rep); err != nil {
+		return Reply{}, fmt.Errorf("daemon: bad reply %q: %w", line, err)
+	}
+	return rep, nil
+}

@@ -5,68 +5,102 @@ import (
 	"resex/internal/invariant"
 	"resex/internal/placement"
 	"resex/internal/resex"
+	"resex/internal/snapshot"
 	"resex/internal/workload"
 )
 
-// auditTestbed attaches an invariant auditor to the testbed's engine when
-// Options.Audit is set, watching every host's hypervisor and adapter plus
-// any ResEx managers, and returns the function that finalizes the audit
-// (run it after the simulation, before Shutdown). With auditing disabled it
-// returns a no-op, so unaudited runs pay nothing beyond a nil check.
+// auditTestbed attaches the two pure observers an experiment engine can
+// carry — the invariant auditor (Options.Audit) and the snapshot
+// capture/verify breakpoint (Options.Checkpoint) — and returns the function
+// that finalizes the audit (run it after the simulation, before Shutdown).
+// With both disabled it returns a no-op, so plain runs pay nothing beyond a
+// nil check. The auditor watches every host's hypervisor and adapter plus
+// any ResEx managers; the snapshot source exports the same objects, and
+// includes the auditor's own accumulators when auditing is on (an audited
+// capture must be restored under -audit, and vice versa).
 func (o Options) auditTestbed(tb *cluster.Testbed, mgrs ...*resex.Manager) func() {
-	if o.Audit == nil {
-		return func() {}
-	}
-	a := invariant.New(tb.Eng, o.Audit)
-	for _, h := range tb.Hosts {
-		a.WatchXen(h.HV)
-		a.WatchHCA(h.HCA)
-	}
-	for _, m := range mgrs {
-		if m != nil {
-			a.WatchManager(m)
+	var a *invariant.Auditor
+	if o.Audit != nil {
+		a = invariant.New(tb.Eng, o.Audit)
+		for _, h := range tb.Hosts {
+			a.WatchXen(h.HV)
+			a.WatchHCA(h.HCA)
 		}
+		for _, m := range mgrs {
+			if m != nil {
+				a.WatchManager(m)
+			}
+		}
+	}
+	if o.Checkpoint != nil {
+		o.Checkpoint.Arm(tb.Eng, o.PointSeed, &snapshot.Source{
+			TB: tb, Managers: mgrs, Auditor: a,
+		})
+	}
+	if a == nil {
+		return func() {}
 	}
 	return a.Close
 }
 
-// auditFleet is auditTestbed for a placement fleet: every host's
-// hypervisor and adapter plus the per-host ResEx managers. Domains and QPs
-// that live migration creates or destroys mid-run are discovered on the
+// auditFleet is auditTestbed for a placement fleet: every host's hypervisor
+// and adapter plus the per-host ResEx managers, monitors, and the fleet's
+// placement bindings. It additionally returns the snapshot source so the
+// driver can attach objects it builds after this call (the fault injector);
+// the source is read when the breakpoint fires, never before. Domains and
+// QPs that live migration creates or destroys mid-run are discovered on the
 // auditor's next pass.
-func (o Options) auditFleet(f *placement.Fleet) func() {
-	if o.Audit == nil {
-		return func() {}
-	}
-	a := invariant.New(f.TB.Eng, o.Audit)
-	for _, h := range f.TB.Hosts {
-		a.WatchXen(h.HV)
-		a.WatchHCA(h.HCA)
-	}
-	for _, m := range f.Mgrs {
-		if m != nil {
-			a.WatchManager(m)
+func (o Options) auditFleet(f *placement.Fleet) (func(), *snapshot.Source) {
+	var a *invariant.Auditor
+	if o.Audit != nil {
+		a = invariant.New(f.TB.Eng, o.Audit)
+		for _, h := range f.TB.Hosts {
+			a.WatchXen(h.HV)
+			a.WatchHCA(h.HCA)
+		}
+		for _, m := range f.Mgrs {
+			if m != nil {
+				a.WatchManager(m)
+			}
 		}
 	}
-	return a.Close
+	src := &snapshot.Source{
+		TB: f.TB, Managers: f.Mgrs, Monitors: f.Mons, Fleet: f, Auditor: a,
+	}
+	if o.Checkpoint != nil {
+		o.Checkpoint.Arm(f.TB.Eng, o.PointSeed, src)
+	}
+	if a == nil {
+		return func() {}, src
+	}
+	return a.Close, src
 }
 
 // auditWorkload is auditTestbed for a multi-tenant workload engine: hosts
-// and managers as usual, plus per-tenant SLO bookkeeping.
+// and managers as usual, plus per-tenant SLO bookkeeping and the workload's
+// arrival state in the snapshot source.
 func (o Options) auditWorkload(e *workload.Engine) func() {
-	if o.Audit == nil {
+	var a *invariant.Auditor
+	if o.Audit != nil {
+		a = invariant.New(e.TB.Eng, o.Audit)
+		for _, h := range e.TB.Hosts {
+			a.WatchXen(h.HV)
+			a.WatchHCA(h.HCA)
+		}
+		for _, m := range e.Mgrs {
+			if m != nil {
+				a.WatchManager(m)
+			}
+		}
+		a.WatchWorkload(e)
+	}
+	if o.Checkpoint != nil {
+		o.Checkpoint.Arm(e.TB.Eng, o.PointSeed, &snapshot.Source{
+			TB: e.TB, Managers: e.Mgrs, Monitors: e.Mons, Workload: e, Auditor: a,
+		})
+	}
+	if a == nil {
 		return func() {}
 	}
-	a := invariant.New(e.TB.Eng, o.Audit)
-	for _, h := range e.TB.Hosts {
-		a.WatchXen(h.HV)
-		a.WatchHCA(h.HCA)
-	}
-	for _, m := range e.Mgrs {
-		if m != nil {
-			a.WatchManager(m)
-		}
-	}
-	a.WatchWorkload(e)
 	return a.Close
 }

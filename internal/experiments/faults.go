@@ -139,7 +139,7 @@ func runFaultsRow(o Options, stormsPerSec float64, aware bool) (AblFaultsRow, er
 		cfg.QuarantineBlackouts = true
 	}
 	f := placement.NewFleet(cfg)
-	stopAudit := o.auditFleet(f)
+	stopAudit, snapSrc := o.auditFleet(f)
 	defer stopAudit()
 	ws := faultsWorkloads(o.Seed)
 
@@ -160,6 +160,7 @@ func runFaultsRow(o Options, stormsPerSec float64, aware bool) (AblFaultsRow, er
 	// identical fault sequence.
 	measureStart := arrivalGap*sim.Time(len(ws)) + o.Warmup
 	inj := faults.NewInjector(f.TB.Eng)
+	snapSrc.Injector = inj
 	f.WireFaults(inj)
 	hosts := make([]int, faultsHosts)
 	for i := range hosts {

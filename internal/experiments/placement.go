@@ -148,7 +148,7 @@ func runPlacementRow(o Options, hosts, vms int, strat placementStrategy) (AblPla
 		Strategy:    strat.make(),
 		Seed:        o.Seed + int64(hosts)*1000 + int64(vms),
 	})
-	stopAudit := o.auditFleet(f)
+	stopAudit, _ := o.auditFleet(f)
 	defer stopAudit()
 	ws := placementWorkloads(vms, o.Seed)
 

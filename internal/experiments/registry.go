@@ -56,6 +56,8 @@ func init() {
 		func(o Options) (Result, error) { return AblWorkloadBurst(o) })
 	register("abl-workload-mix", "Workload: mixed tenant classes, SLO attainment per policy",
 		func(o Options) (Result, error) { return AblWorkloadMix(o) })
+	register("abl-restart", "Restart: crash-restart determinism and mid-run policy flip",
+		func(o Options) (Result, error) { return AblRestart(o) })
 	register("softrt", "Extension: soft-real-time stream deadline misses",
 		func(o Options) (Result, error) { return SoftRT(o) })
 }

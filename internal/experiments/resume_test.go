@@ -1,0 +1,95 @@
+package experiments
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"testing"
+
+	"resex/internal/sim"
+	"resex/internal/snapshot"
+)
+
+// TestResumeSweepAllDrivers is the crash-restart determinism matrix: every
+// registered driver, at two seeds, must produce byte-identical result text
+// across (1) an uninterrupted run, (2) a run with a snapshot captured at
+// T = warmup + duration/2, and (3) a run restored from that snapshot —
+// rebuilt, replayed to T under byte-for-byte state verification, and run to
+// the end. This is the same property the CI crash-restart gate diffs on
+// resexsim stdout; here it covers the full driver matrix.
+func TestResumeSweepAllDrivers(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full driver matrix; skipped in -short")
+	}
+	seeds := []int64{3, 11}
+	dur, warm := 60*sim.Millisecond, 20*sim.Millisecond
+	for _, id := range IDs() {
+		if id == "abl-restart" {
+			// Runs this exact capture/verify loop internally, self-gating,
+			// and would triple-nest it here.
+			continue
+		}
+		for _, seed := range seeds {
+			id, seed := id, seed
+			t.Run(fmt.Sprintf("%s/seed%d", id, seed), func(t *testing.T) {
+				t.Parallel()
+				entry, err := Lookup(id)
+				if err != nil {
+					t.Fatal(err)
+				}
+				run := func(plan *snapshot.Plan) string {
+					res, err := entry.Run(Options{
+						Duration:   dur,
+						Warmup:     warm,
+						Seed:       seed,
+						Parallel:   2,
+						Checkpoint: plan,
+					})
+					if err != nil {
+						t.Fatalf("%s seed %d: %v", id, seed, err)
+					}
+					var b strings.Builder
+					if err := res.WriteText(&b); err != nil {
+						t.Fatal(err)
+					}
+					return b.String()
+				}
+
+				base := run(nil)
+
+				capture := snapshot.NewCapture(warm + dur/2)
+				if got := run(capture); got != base {
+					t.Fatalf("arming the capture breakpoint changed the output:\n--- plain\n%s\n--- captured\n%s", base, got)
+				}
+				bundle, err := capture.Bundle(snapshot.Meta{
+					Kind:       "experiment",
+					Experiment: id,
+					Seed:       seed,
+					DurationNs: int64(dur),
+					WarmupNs:   int64(warm),
+				})
+				if err != nil {
+					t.Fatalf("bundle: %v", err)
+				}
+
+				// Through the wire format, as resexsim writes it to disk.
+				var buf bytes.Buffer
+				if err := snapshot.Encode(&buf, bundle); err != nil {
+					t.Fatal(err)
+				}
+				decoded, err := snapshot.Decode(bytes.NewReader(buf.Bytes()))
+				if err != nil {
+					t.Fatal(err)
+				}
+
+				verify := snapshot.NewVerify(decoded)
+				if got := run(verify); got != base {
+					t.Fatalf("restored run's output diverged:\n--- plain\n%s\n--- restored\n%s", base, got)
+				}
+				if err := verify.Err(); err != nil {
+					t.Fatalf("state verification at T failed: %v", err)
+				}
+			})
+		}
+	}
+}

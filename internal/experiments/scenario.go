@@ -21,6 +21,7 @@ import (
 	"resex/internal/invariant"
 	"resex/internal/resex"
 	"resex/internal/sim"
+	"resex/internal/snapshot"
 )
 
 // BaseBuffer is the reporting VM's buffer size throughout the paper.
@@ -64,6 +65,12 @@ type Options struct {
 	// The auditor is a pure observer: enabling it cannot change any figure
 	// output (resexsim -audit; see internal/invariant).
 	Audit *invariant.Collector
+	// Checkpoint, when non-nil, arms every engine the experiment builds
+	// with a seq-neutral snapshot breakpoint at the plan's capture point:
+	// capture mode exports full state there, verify mode re-exports and
+	// compares against a recorded bundle (resexsim -snapshot / -restore;
+	// see internal/snapshot). Like Audit, it is a pure observer.
+	Checkpoint *snapshot.Plan
 }
 
 // WithDefaults fills zero fields.

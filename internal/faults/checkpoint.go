@@ -1,0 +1,47 @@
+package faults
+
+// HostFaultState is one attached host's fault-effect counters.
+type HostFaultState struct {
+	Node       int     `json:"node"`
+	Degrades   int     `json:"degrades"`
+	LastFactor float64 `json:"last_factor"`
+	Flaps      int     `json:"flaps"`
+	Stalls     int     `json:"stalls"`
+	Blackouts  int     `json:"blackouts"`
+}
+
+// State is the injector's deterministic state export: the fault-plan cursor
+// (how many events fired, how many remain armed, how many are in effect)
+// plus per-host effect counters. The fired prefix of a seeded schedule is a
+// pure function of virtual time, so equal cursors after a replay mean the
+// same storms hit at the same instants.
+type State struct {
+	Fired  int              `json:"fired"`
+	Armed  int              `json:"armed"`
+	Active int              `json:"active"`
+	LastAt int64            `json:"last_at"`
+	Hosts  []HostFaultState `json:"hosts"`
+}
+
+// Checkpoint exports the injector's current cursor. Pure observer.
+func (in *Injector) Checkpoint() State {
+	st := State{
+		Fired:  len(in.fired),
+		Armed:  in.armed,
+		Active: in.active,
+	}
+	if n := len(in.fired); n > 0 {
+		st.LastAt = int64(in.fired[n-1].At)
+	}
+	for _, h := range in.hosts {
+		st.Hosts = append(st.Hosts, HostFaultState{
+			Node:       h.Node,
+			Degrades:   h.degrades,
+			LastFactor: h.lastFactor,
+			Flaps:      h.flaps,
+			Stalls:     h.stalls,
+			Blackouts:  h.blackouts,
+		})
+	}
+	return st
+}

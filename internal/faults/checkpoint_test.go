@@ -1,0 +1,51 @@
+package faults
+
+import (
+	"reflect"
+	"testing"
+
+	"resex/internal/sim"
+)
+
+// runStorms arms a seeded storm schedule against the harness host, sends
+// traffic through the fault window, and returns the injector's cursor export
+// at 400ms.
+func runStorms(t *testing.T, midCheckpoint bool) State {
+	t.Helper()
+	h := newHarness(t, 256)
+	inj := NewInjector(h.eng)
+	inj.AttachHost(h.ports())
+	inj.Arm(Generate(11, GenConfig{
+		Hosts: []int{1}, Start: 20 * sim.Millisecond,
+		Horizon: 300 * sim.Millisecond, StormsPerSec: 30, FlapEvery: 3,
+	}))
+	for i := 0; i < 20; i++ {
+		h.send(t, sim.Time(i)*10*sim.Millisecond, 64<<10)
+	}
+	if midCheckpoint {
+		h.eng.Breakpoint(150*sim.Millisecond, func() { _ = inj.Checkpoint() })
+	}
+	h.eng.RunUntil(400 * sim.Millisecond)
+	return inj.Checkpoint()
+}
+
+// TestCheckpointEquality: a seeded fault schedule replayed over identical
+// traffic leaves identical cursors, and a mid-run export does not perturb
+// the schedule.
+func TestCheckpointEquality(t *testing.T) {
+	a := runStorms(t, false)
+	b := runStorms(t, false)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("same-run exports differ:\n%+v\n%+v", a, b)
+	}
+	c := runStorms(t, true)
+	if !reflect.DeepEqual(a, c) {
+		t.Fatalf("mid-run Checkpoint perturbed the schedule:\n%+v\n%+v", a, c)
+	}
+	if a.Fired == 0 {
+		t.Fatal("no fault events fired by 400ms; schedule never ran")
+	}
+	if len(a.Hosts) != 1 {
+		t.Fatalf("export holds %d hosts, want 1", len(a.Hosts))
+	}
+}

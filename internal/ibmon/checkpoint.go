@@ -1,0 +1,56 @@
+package ibmon
+
+import "resex/internal/xen"
+
+// TargetState is one watched CQ's introspection export: the usage counters
+// attribution reads, plus the remap/confidence machinery's position.
+type TargetState struct {
+	Dom         xen.DomID `json:"dom"`
+	Seen        uint64    `json:"seen"`
+	Samples     int64     `json:"samples"`
+	Completions int64     `json:"completions"`
+	Lost        int64     `json:"lost"`
+	MTUsSent    int64     `json:"mtus_sent"`
+	BytesSent   int64     `json:"bytes_sent"`
+	BytesRecv   int64     `json:"bytes_recv"`
+	BufferSize  int       `json:"buffer_size"`
+	Invalid     bool      `json:"invalid"`
+	RemapTries  int64     `json:"remap_tries"`
+	Confidence  float64   `json:"confidence"`
+}
+
+// State is the monitor's deterministic state export: blackout/fault
+// bookkeeping plus every watched target's counters, in watch order.
+type State struct {
+	Blackout      bool          `json:"blackout"`
+	BlackoutPass  int64         `json:"blackout_pass"`
+	Invalidations int64         `json:"invalidations"`
+	Targets       []TargetState `json:"targets"`
+}
+
+// Checkpoint exports the monitor's current introspection state. Pure
+// observer: it never samples, remaps, or charges dom0 CPU.
+func (m *Monitor) Checkpoint() State {
+	st := State{
+		Blackout:      m.blackout,
+		BlackoutPass:  m.blackoutPass,
+		Invalidations: m.invalidations,
+	}
+	for _, t := range m.targets {
+		st.Targets = append(st.Targets, TargetState{
+			Dom:         t.dom,
+			Seen:        t.seen,
+			Samples:     t.usage.Samples,
+			Completions: t.usage.Completions,
+			Lost:        t.usage.Lost,
+			MTUsSent:    t.usage.MTUsSent,
+			BytesSent:   t.usage.BytesSent,
+			BytesRecv:   t.usage.BytesRecv,
+			BufferSize:  t.usage.BufferSize,
+			Invalid:     t.invalid,
+			RemapTries:  t.remapTries,
+			Confidence:  t.conf,
+		})
+	}
+	return st
+}

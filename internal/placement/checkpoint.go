@@ -1,0 +1,41 @@
+package placement
+
+// PlacementState is one workload's binding export: where its server lives,
+// how often it moved, and the rebalancer's per-placement control state.
+type PlacementState struct {
+	Name        string  `json:"name"`
+	HostIdx     int     `json:"host_idx"`
+	Migrations  int     `json:"migrations"`
+	MigFailures int     `json:"mig_failures"`
+	RetryAt     int64   `json:"retry_at"`
+	LastIntf    float64 `json:"last_intf"`
+	LastCap     float64 `json:"last_cap"`
+	IntfEpochs  int     `json:"intf_epochs"`
+	History     int     `json:"history"`
+}
+
+// State is the fleet's deterministic state export: every placement's
+// binding in placement order plus the fleet RNG's stream position.
+type State struct {
+	RNGDraws   uint64           `json:"rng_draws"`
+	Placements []PlacementState `json:"placements"`
+}
+
+// Checkpoint exports the fleet's current placement state. Pure observer.
+func (f *Fleet) Checkpoint() State {
+	st := State{RNGDraws: f.rng.Draws()}
+	for _, pl := range f.placements {
+		st.Placements = append(st.Placements, PlacementState{
+			Name:        pl.Spec.Name,
+			HostIdx:     pl.HostIdx,
+			Migrations:  pl.Migrations,
+			MigFailures: pl.migFailures,
+			RetryAt:     int64(pl.retryAt),
+			LastIntf:    pl.lastIntf,
+			LastCap:     pl.lastCap,
+			IntfEpochs:  pl.intfEpochs,
+			History:     len(pl.History),
+		})
+	}
+	return st
+}

@@ -225,6 +225,20 @@ func RenderSVG(res experiments.Result) (string, error) {
 		return LineChart("Workload: burstiness vs tail latency",
 			"burst factor (mean rate constant)", "p99 latency (µs)", order), nil
 
+	case *experiments.AblRestartResult:
+		// Crash-restart rows and policy-flip rows share the mixed-class
+		// columns, so one grouped frame covers both halves of the report.
+		rows := append(append([]experiments.AblRestartRow{}, r.Restart...), r.Flip...)
+		groups := make([]string, 0, len(rows))
+		vals := make([][]float64, 0, len(rows))
+		for _, row := range rows {
+			groups = append(groups, row.Config)
+			vals = append(vals, []float64{row.LatAttainPct, row.BulkMBps / 10})
+		}
+		return GroupedBarChart("Restart: crash-restart and policy flip at T",
+			"lat SLO attainment (%) / bulk goodput (10 MB/s)", groups,
+			[]string{"lat SLO %", "bulk 10MB/s"}, vals), nil
+
 	case *experiments.SoftRTResult:
 		groups := make([]string, 0, len(r.Rows))
 		vals := make([][]float64, 0, len(r.Rows))

@@ -1,0 +1,79 @@
+package resex
+
+import (
+	"resex/internal/resos"
+	"resex/internal/sim"
+)
+
+// VMState is one managed VM's ledger export: the Reso account, the policy's
+// per-VM control state, and the attribution counters a charging interval
+// advances.
+type VMState struct {
+	Name       string       `json:"name"`
+	Balance    resos.Amount `json:"balance"`
+	Allocation resos.Amount `json:"allocation"`
+	Epoch      int64        `json:"epoch"`
+	CPUCharged resos.Amount `json:"cpu_charged"`
+	IOCharged  resos.Amount `json:"io_charged"`
+	Discarded  resos.Amount `json:"discarded"`
+	Forgiven   resos.Amount `json:"forgiven"`
+	Rate       float64      `json:"rate"`
+	Cap        float64      `json:"cap"`
+	CapForced  bool         `json:"cap_forced"`
+	Share      int          `json:"share"`
+	LastMTUs   int64        `json:"last_mtus"`
+	LastCPU    sim.Time     `json:"last_cpu"`
+	Baseline   float64      `json:"baseline"`
+	Interfered bool         `json:"interfered"`
+	Intervals  int64        `json:"intervals"`
+	Confidence float64      `json:"confidence"`
+	EpochMTUs  int64        `json:"epoch_mtus"`
+}
+
+// State is the manager's deterministic state export: the interval cursor,
+// the degraded-mode decision counters, and every managed VM's ledger, in
+// Manage order.
+type State struct {
+	Policy            string    `json:"policy"`
+	Interval          int64     `json:"interval"`
+	Tightenings       int64     `json:"tightenings"`
+	HeldTightenings   int64     `json:"held_tightenings"`
+	WrongfulThrottles int64     `json:"wrongful_throttles"`
+	VMs               []VMState `json:"vms"`
+}
+
+// Checkpoint exports the manager's current control-loop state. Pure
+// observer: reading it never advances an interval or touches a cap.
+func (m *Manager) Checkpoint() State {
+	st := State{
+		Policy:            m.policy.Name(),
+		Interval:          m.interval,
+		Tightenings:       m.tightenings,
+		HeldTightenings:   m.heldTightenings,
+		WrongfulThrottles: m.wrongfulThrottles,
+	}
+	for _, vm := range m.vms {
+		st.VMs = append(st.VMs, VMState{
+			Name:       vm.Dom.Name(),
+			Balance:    vm.Account.Balance(),
+			Allocation: vm.Account.Allocation(),
+			Epoch:      vm.Account.Epoch(),
+			CPUCharged: vm.Account.CPUCharged(),
+			IOCharged:  vm.Account.IOCharged(),
+			Discarded:  vm.Account.Discarded(),
+			Forgiven:   vm.Account.Forgiven(),
+			Rate:       vm.rate,
+			Cap:        vm.cap,
+			CapForced:  vm.capForced,
+			Share:      vm.share,
+			LastMTUs:   vm.lastMTUs,
+			LastCPU:    vm.lastCPU,
+			Baseline:   vm.baseline,
+			Interfered: vm.interfered,
+			Intervals:  vm.intervals,
+			Confidence: vm.confidence,
+			EpochMTUs:  vm.epMTUs,
+		})
+	}
+	return st
+}

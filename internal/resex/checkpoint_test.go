@@ -1,0 +1,48 @@
+package resex
+
+import (
+	"reflect"
+	"testing"
+
+	"resex/internal/sim"
+)
+
+// runManaged drives the standard interference rig under IOShares to 300ms
+// and returns the manager's export.
+func runManaged(t *testing.T, midCheckpoint bool) State {
+	t.Helper()
+	r := newRig(t, NewIOShares(), true, 240)
+	defer r.shutdown()
+	if midCheckpoint {
+		r.tb.Eng.Breakpoint(140*sim.Millisecond, func() { _ = r.mgr.Checkpoint() })
+	}
+	r.tb.Eng.RunUntil(300 * sim.Millisecond)
+	return r.mgr.Checkpoint()
+}
+
+// TestCheckpointEquality: identical managed runs export identical pricing
+// ledgers (rates, caps, balances, attribution state), and a mid-run export
+// does not perturb the run.
+func TestCheckpointEquality(t *testing.T) {
+	a := runManaged(t, false)
+	b := runManaged(t, false)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("same-run exports differ:\n%+v\n%+v", a, b)
+	}
+	c := runManaged(t, true)
+	if !reflect.DeepEqual(a, c) {
+		t.Fatalf("mid-run Checkpoint perturbed the run:\n%+v\n%+v", a, c)
+	}
+	if len(a.VMs) != 2 {
+		t.Fatalf("export holds %d VMs, want 2", len(a.VMs))
+	}
+	var charged bool
+	for _, vm := range a.VMs {
+		if vm.Balance != vm.Allocation {
+			charged = true
+		}
+	}
+	if !charged {
+		t.Fatal("no VM was charged by 300ms; rig did not exercise the ledgers")
+	}
+}

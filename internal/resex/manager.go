@@ -228,6 +228,7 @@ type Manager struct {
 	proc     *sim.Proc
 	running  bool
 	interval int64
+	pending  Policy // swapped in at the next epoch boundary (SwapPolicyAtEpoch)
 
 	// Degraded-mode accounting (see Config.ConfidenceGate).
 	tightenings       int64
@@ -303,6 +304,20 @@ func (m *Manager) Config() Config { return m.cfg }
 
 // Policy returns the active pricing policy.
 func (m *Manager) Policy() Policy { return m.policy }
+
+// SwapPolicyAtEpoch stages p to replace the active pricing policy at the
+// next epoch boundary — after accounts replenish and before the incoming
+// policy's EpochStart runs, so the new policy always begins from a full
+// epoch exactly as it would have on a fresh manager. Swapping mid-epoch is
+// deliberately impossible: epoch alignment is what makes a live A/B flip
+// comparable to a from-scratch run under the new policy. Staging a second
+// swap before the boundary replaces the first; nil is ignored.
+func (m *Manager) SwapPolicyAtEpoch(p Policy) {
+	if p == nil {
+		return
+	}
+	m.pending = p
+}
 
 // VMs returns the managed VMs.
 func (m *Manager) VMs() []*ManagedVM { return m.vms }
@@ -539,6 +554,10 @@ func (m *Manager) tick() {
 		es := m.epochSummary()
 		for _, vm := range m.vms {
 			vm.Account.Replenish()
+		}
+		if m.pending != nil {
+			m.policy = m.pending
+			m.pending = nil
 		}
 		m.policy.EpochStart(m)
 		for _, o := range m.epochObs {

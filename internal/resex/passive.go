@@ -1,0 +1,33 @@
+package resex
+
+// Passive is the "none" policy: accounts still charge and replenish (so the
+// Reso ledgers, epoch summaries, and interference attribution keep flowing
+// for telemetry), but no cap is ever applied and any cap a previous policy
+// enforced is lifted at the first interval. It exists so a manager can be
+// swapped between real pricing and unmanaged behavior live — the daemon's
+// policy none state — without tearing down monitors or managed VMs.
+type Passive struct{}
+
+// NewPassive returns the no-enforcement policy.
+func NewPassive() *Passive { return &Passive{} }
+
+// Name implements Policy.
+func (p *Passive) Name() string { return "none" }
+
+// Interval implements Policy: charge usage at the base rate (rate 1), keep
+// the attribution bookkeeping warm, and guarantee every VM is uncapped.
+func (p *Passive) Interval(m *Manager, d *IntervalData) {
+	for _, vt := range d.VMs {
+		vm := vt.VM
+		vm.Account.ChargeIO(vt.MTUs, 1)
+		vm.Account.ChargeCPU(vt.CPUPct, 1)
+		vm.rate = 1
+		vm.interfered = false
+		if vm.capForced || vm.cap < 100 {
+			m.ApplyCap(vm, 100)
+		}
+	}
+}
+
+// EpochStart implements Policy.
+func (p *Passive) EpochStart(m *Manager) {}

@@ -98,6 +98,18 @@ type Engine struct {
 	stopped  bool
 	stepHook func(at Time, seq uint64)
 	hookMask uint64
+	breaks   []breakpoint
+}
+
+// breakpoint is an out-of-band callback fired by the run loops once the
+// clock is about to pass at. Breakpoints live outside the event queue on
+// purpose: arming one consumes no seq number and occupies no heap slot, so
+// an armed run schedules and executes exactly the same events as an unarmed
+// one — the property that lets snapshot capture/verification observe a run
+// without perturbing it.
+type breakpoint struct {
+	at Time
+	fn func()
 }
 
 // New returns an empty engine with the clock at zero.
@@ -186,6 +198,43 @@ func (e *Engine) Every(d Time, fn func()) Timer {
 	return Timer{per: p}
 }
 
+// Breakpoint registers fn to run once every event with timestamp <= at has
+// executed — the same boundary RunUntil(at) stops on. Unlike Schedule it
+// consumes no seq number and places nothing on the heap, so an armed engine
+// runs event-for-event identically to an unarmed one; fn must not schedule,
+// cancel, or otherwise drive the engine. Breakpoints fire from Run and
+// RunUntil only (single-Step loops never cross them), in (at, arming order).
+// Arming in the past panics like Schedule does.
+func (e *Engine) Breakpoint(at Time, fn func()) {
+	if at < e.now {
+		panic(fmt.Sprintf("sim: breakpoint at %v before now %v", at, e.now))
+	}
+	i := len(e.breaks)
+	for i > 0 && e.breaks[i-1].at > at {
+		i--
+	}
+	e.breaks = append(e.breaks, breakpoint{})
+	copy(e.breaks[i+1:], e.breaks[i:])
+	e.breaks[i] = breakpoint{at: at, fn: fn}
+}
+
+// fireBreaksBefore fires, in order, every armed breakpoint with at < limit,
+// advancing the clock to each breakpoint's time (never past limit). The run
+// loops call it with the next event's timestamp — so a breakpoint at T fires
+// only once no event with timestamp <= T remains, mirroring RunUntil(T).
+func (e *Engine) fireBreaksBefore(limit Time) {
+	for len(e.breaks) > 0 && e.breaks[0].at < limit {
+		b := e.breaks[0]
+		copy(e.breaks, e.breaks[1:])
+		e.breaks[len(e.breaks)-1] = breakpoint{}
+		e.breaks = e.breaks[:len(e.breaks)-1]
+		if e.now < b.at {
+			e.now = b.at
+		}
+		b.fn()
+	}
+}
+
 // Step executes the single earliest pending event. It reports false when no
 // events remain.
 func (e *Engine) Step() bool {
@@ -232,7 +281,18 @@ func (e *Engine) peek() (Time, bool) {
 // Run executes events until none remain or Stop is called.
 func (e *Engine) Run() {
 	e.stopped = false
-	for !e.stopped && e.Step() {
+	for !e.stopped {
+		if len(e.breaks) > 0 {
+			if at, ok := e.peek(); ok {
+				e.fireBreaksBefore(at)
+				if e.stopped {
+					return
+				}
+			}
+		}
+		if !e.Step() {
+			return
+		}
 	}
 }
 
@@ -245,7 +305,16 @@ func (e *Engine) RunUntil(t Time) {
 		if !ok || at > t {
 			break
 		}
+		if len(e.breaks) > 0 {
+			e.fireBreaksBefore(at)
+			if e.stopped {
+				break
+			}
+		}
 		e.Step()
+	}
+	if len(e.breaks) > 0 && !e.stopped {
+		e.fireBreaksBefore(t + 1)
 	}
 	if e.now < t {
 		e.now = t

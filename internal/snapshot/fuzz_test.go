@@ -1,0 +1,71 @@
+package snapshot
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/json"
+	"testing"
+
+	"resex/internal/sim"
+)
+
+// FuzzSnapshotDecode holds Decode to its contract: arbitrary bytes —
+// truncations, bit flips, version skews, hostile length fields — produce an
+// error or a valid bundle, never a panic, and anything Decode accepts must
+// re-encode and decode to the same payload.
+func FuzzSnapshotDecode(f *testing.F) {
+	var buf bytes.Buffer
+	if err := Encode(&buf, &Bundle{
+		Meta: Meta{Kind: "experiment", Experiment: "fig1", Seed: 42, SnapshotAtNs: 1e9},
+		Snaps: []Snapshot{{
+			Key:   Key{PointSeed: 7, Ordinal: 0},
+			AtNs:  1e9,
+			State: State{Engine: sim.EngineState{Now: sim.Second, Steps: 3, Seq: 5}},
+		}},
+	}); err != nil {
+		f.Fatal(err)
+	}
+	good := buf.Bytes()
+
+	f.Add(good)                  // valid bundle
+	f.Add([]byte{})              // empty
+	f.Add(good[:5])              // truncated magic
+	f.Add(good[:14])             // header only
+	f.Add(good[:20])             // truncated length
+	f.Add(good[:len(good)-8])    // missing checksum
+	f.Add(good[:len(good)-1])    // short checksum
+	f.Add([]byte("RESEXSNAP\n")) // bare magic
+
+	skew := append([]byte(nil), good...)
+	binary.BigEndian.PutUint32(skew[10:14], Version+9)
+	f.Add(skew) // version skew
+
+	huge := append([]byte(nil), good...)
+	binary.BigEndian.PutUint64(huge[14:22], 1<<62)
+	f.Add(huge) // hostile length field
+
+	flip := append([]byte(nil), good...)
+	flip[len(flip)/2] ^= 0x40
+	f.Add(flip) // payload corruption
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		b, err := Decode(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		// Accepted input must survive a re-encode/decode round trip.
+		var out bytes.Buffer
+		if err := Encode(&out, b); err != nil {
+			t.Fatalf("re-encode of accepted bundle failed: %v", err)
+		}
+		b2, err := Decode(bytes.NewReader(out.Bytes()))
+		if err != nil {
+			t.Fatalf("re-decode of accepted bundle failed: %v", err)
+		}
+		j1, _ := json.Marshal(b)
+		j2, _ := json.Marshal(b2)
+		if !bytes.Equal(j1, j2) {
+			t.Fatalf("round trip changed bundle:\n%s\n%s", j1, j2)
+		}
+	})
+}

@@ -86,6 +86,13 @@ func NewGenerator(seed int64, cfg GeneratorConfig) *Generator {
 // Universe returns the instrument list.
 func (g *Generator) Universe() []Instrument { return g.univ }
 
+// Seq returns how many requests have been generated so far.
+func (g *Generator) Seq() uint64 { return g.seq }
+
+// Draws returns the generator RNG's stream position (see sim.Rand.Draws);
+// together with Seq it pins the generator's state for replay verification.
+func (g *Generator) Draws() uint64 { return g.rng.Draws() }
+
 // Next produces the next request, advancing instrument prices by a small
 // random walk so consecutive requests are not identical.
 func (g *Generator) Next(now sim.Time) Request {

@@ -187,6 +187,24 @@ func (e *Engine) AddTenant(spec TenantSpec) (*Tenant, error) {
 	return t, nil
 }
 
+// StopTenant halts the named tenant's traffic mid-run: arrivals cease,
+// nothing further is issued, and in-flight requests drain through the normal
+// completion path. The tenant's VMs and QPs stay allocated — a departed but
+// still-provisioned tenant — which keeps removal deterministic and leaves
+// its cumulative statistics readable.
+func (e *Engine) StopTenant(name string) error {
+	for _, t := range e.tenants {
+		if t.Spec.Name == name {
+			if !t.running {
+				return fmt.Errorf("workload: tenant %q is already stopped", name)
+			}
+			t.stop()
+			return nil
+		}
+	}
+	return fmt.Errorf("workload: no tenant %q", name)
+}
+
 // Start launches every server, agent and tenant driver.
 func (e *Engine) Start() {
 	if e.started {

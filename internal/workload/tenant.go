@@ -119,6 +119,9 @@ func newTenant(eng *sim.Engine, vcpu *xen.VCPU, pd *hca.PD, spec TenantSpec) (*T
 // Endpoint returns the tenant's client QP for connection wiring.
 func (t *Tenant) Endpoint() *hca.QP { return t.qp }
 
+// Running reports whether the tenant's traffic driver is live.
+func (t *Tenant) Running() bool { return t.running }
+
 // Sketch exposes the tenant's cumulative latency sketch (µs) so callers can
 // merge per-tenant distributions deterministically.
 func (t *Tenant) Sketch() *stats.QuantileSketch { return t.slo.total }

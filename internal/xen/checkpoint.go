@@ -1,0 +1,63 @@
+package xen
+
+import "resex/internal/sim"
+
+// VCPUState is one VCPU's scheduler ledger export.
+type VCPUState struct {
+	ID         int      `json:"id"`
+	PCPU       int      `json:"pcpu"`
+	Consumed   sim.Time `json:"consumed"`
+	Budget     sim.Time `json:"budget"`
+	WindowUsed sim.Time `json:"window_used"`
+	Window     sim.Time `json:"window"`
+	Running    bool     `json:"running"`
+	Queued     int      `json:"queued"`
+}
+
+// DomainState is one domain's export: identity, cap, CPU ledger, VCPUs.
+type DomainState struct {
+	ID       DomID       `json:"id"`
+	Name     string      `json:"name"`
+	Weight   int         `json:"weight"`
+	Cap      int         `json:"cap"`
+	Consumed sim.Time    `json:"consumed"`
+	VCPUs    []VCPUState `json:"vcpus"`
+}
+
+// State is the hypervisor's deterministic state export: every domain's cap
+// and CPU-time ledger plus each VCPU's window accounting — the quantities
+// the credit scheduler's decisions flow from. Like every Checkpoint in this
+// codebase it is a pure observer used to verify that a deterministic replay
+// reconverged on the same state.
+type State struct {
+	NextID  DomID         `json:"next_id"`
+	Domains []DomainState `json:"domains"`
+}
+
+// Checkpoint exports the hypervisor's current scheduling state.
+func (hv *Hypervisor) Checkpoint() State {
+	st := State{NextID: hv.nextID}
+	for _, d := range hv.domains {
+		ds := DomainState{
+			ID:       d.id,
+			Name:     d.name,
+			Weight:   d.weight,
+			Cap:      d.cap,
+			Consumed: d.consumed,
+		}
+		for _, v := range d.vcpus {
+			ds.VCPUs = append(ds.VCPUs, VCPUState{
+				ID:         v.id,
+				PCPU:       v.pcpu.id,
+				Consumed:   v.consumed,
+				Budget:     v.budget,
+				WindowUsed: v.windowUsed,
+				Window:     v.window,
+				Running:    v.running,
+				Queued:     len(v.queue),
+			})
+		}
+		st.Domains = append(st.Domains, ds)
+	}
+	return st
+}

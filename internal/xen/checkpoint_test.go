@@ -1,0 +1,61 @@
+package xen
+
+import (
+	"reflect"
+	"testing"
+
+	"resex/internal/sim"
+)
+
+// runSchedLoad drives two capped guests through a deterministic CPU pattern
+// and returns the hypervisor export at 50ms. midCheckpoint additionally
+// exports mid-run, to prove Checkpoint is a pure observer.
+func runSchedLoad(t *testing.T, midCheckpoint bool) State {
+	t.Helper()
+	eng, hv := newTestHV(t)
+	d1 := hv.CreateDomain("g1", 16<<20, 0)
+	d2 := hv.CreateDomain("g2", 16<<20, 0)
+	v1 := d1.AddVCPU(hv.PCPU(1))
+	v2 := d2.AddVCPU(hv.PCPU(1)) // same PCPU: contention
+	d2.SetCap(40)
+	eng.Go("app1", func(p *sim.Proc) {
+		for i := 0; i < 6; i++ {
+			v1.Use(p, 2*sim.Millisecond)
+			p.Sleep(sim.Millisecond)
+		}
+	})
+	eng.Go("app2", func(p *sim.Proc) {
+		for i := 0; i < 4; i++ {
+			v2.Use(p, 3*sim.Millisecond)
+		}
+	})
+	if midCheckpoint {
+		eng.Breakpoint(17*sim.Millisecond, func() { _ = hv.Checkpoint() })
+	}
+	eng.RunUntil(50 * sim.Millisecond)
+	return hv.Checkpoint()
+}
+
+// TestCheckpointEquality: identical runs export identical scheduler state,
+// and exporting mid-run does not perturb the run.
+func TestCheckpointEquality(t *testing.T) {
+	a := runSchedLoad(t, false)
+	b := runSchedLoad(t, false)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("same-run exports differ:\n%+v\n%+v", a, b)
+	}
+	c := runSchedLoad(t, true)
+	if !reflect.DeepEqual(a, c) {
+		t.Fatalf("mid-run Checkpoint perturbed the schedule:\n%+v\n%+v", a, c)
+	}
+	if len(a.Domains) != 3 { // dom0 + two guests
+		t.Fatalf("export holds %d domains, want 3", len(a.Domains))
+	}
+	var consumed sim.Time
+	for _, d := range a.Domains {
+		consumed += d.Consumed
+	}
+	if consumed == 0 {
+		t.Fatal("export shows no CPU consumed; load did not run")
+	}
+}
