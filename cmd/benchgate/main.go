@@ -1,21 +1,35 @@
-// Command benchgate enforces the event-core performance contract recorded in
-// BENCH_core.json (written by BenchmarkEngineCore). It fails when:
+// Command benchgate enforces the performance contracts recorded by the
+// repo's comparison benchmarks. Two kinds:
 //
-//   - the file is missing or unreadable — the bench smoke job must have run;
-//   - the current engine allocates on the steady-state event path
-//     (allocs_per_event > 0, with a tiny epsilon for runtime background
-//     noise caught between the MemStats samples);
-//   - the speedup over the in-process container/heap baseline drops below
-//     the floor — the acceptance target (2x) minus a 10% regression budget.
+//   - -kind core (default): the event-core contract in BENCH_core.json
+//     (written by BenchmarkEngineCore). Fails when the current engine
+//     allocates on the steady-state event path (allocs_per_event > 0, with
+//     a tiny epsilon for runtime background noise caught between the
+//     MemStats samples) or the speedup over the in-process container/heap
+//     baseline drops below the floor — the acceptance target (2x) minus a
+//     10% regression budget.
 //
-// The gate compares two engines measured in the same process on the same
-// machine, so it is immune to CI runner speed differences; a committed
-// BENCH_core.json from any machine documents the same ratio CI re-derives.
+//   - -kind shardsched: the fleet-placement contract in
+//     BENCH_shardsched.json (written by BenchmarkShardSched). Fails when
+//     the snapshot-store scheduler's speedup over the rebuild-the-world
+//     baseline drops below the floor, or the per-placement allocation
+//     count exceeds the copy-on-write budget (the hot path itself is
+//     zero-alloc; commits clone only the hosts they touch).
+//
+// Either kind also fails when the file is missing or unreadable — the bench
+// smoke job must have run.
+//
+// Gates compare two schedulers measured in the same process on the same
+// machine, so they are immune to CI runner speed differences; a committed
+// report from any machine documents the same ratio CI re-derives.
 //
 // Usage:
 //
 //	go test -run '^$' -bench '^BenchmarkEngineCore$' -benchtime=1x .
-//	go run ./cmd/benchgate [-file BENCH_core.json]
+//	go run ./cmd/benchgate [-kind core] [-file BENCH_core.json]
+//
+//	go test -run '^$' -bench '^BenchmarkShardSched$' -benchtime=1x .
+//	go run ./cmd/benchgate -kind shardsched [-file BENCH_shardsched.json]
 package main
 
 import (
@@ -25,14 +39,26 @@ import (
 	"os"
 )
 
-// minSpeedup is the acceptance floor: the 2x throughput target with a 10%
-// regression budget.
+// minSpeedup is the core acceptance floor: the 2x throughput target with a
+// 10% regression budget.
 const minSpeedup = 1.8
 
 // maxAllocsPerEvent tolerates runtime-internal allocations (GC bookkeeping,
 // timer goroutines) that can land between the MemStats samples; the event
 // path itself contributes ~1 alloc/event when it regresses, far above this.
 const maxAllocsPerEvent = 0.001
+
+// minShardSpeedup is the placement-round floor. The recorded
+// BENCH_shardsched.json shows ~5x on the 2k-host fleet; 3x leaves a wide
+// regression budget while still catching a reintroduced per-placement
+// rebuild (which lands at 1x by construction).
+const minShardSpeedup = 3.0
+
+// maxAllocsPerPlacement budgets the copy-on-write commit path: a commit
+// clones each touched host once per round and the requeue/merge buffers
+// amortize to near zero, so steady state measures ~2 allocs/placement. The
+// legacy full-rebuild path costs thousands; 16 cleanly separates the two.
+const maxAllocsPerPlacement = 16.0
 
 type side struct {
 	Engine         string  `json:"engine"`
@@ -49,22 +75,57 @@ type report struct {
 	Speedup   float64 `json:"speedup"`
 }
 
+type shardSide struct {
+	Scheduler          string  `json:"scheduler"`
+	NsPerPlacement     float64 `json:"ns_per_placement"`
+	AllocsPerPlacement float64 `json:"allocs_per_placement"`
+}
+
+type shardReport struct {
+	Benchmark  string    `json:"benchmark"`
+	Hosts      int       `json:"hosts"`
+	VMs        int       `json:"vms"`
+	Placements int       `json:"placements"`
+	Baseline   shardSide `json:"baseline"`
+	Current    shardSide `json:"current"`
+	Speedup    float64   `json:"speedup"`
+}
+
 func main() {
-	file := flag.String("file", "BENCH_core.json", "bench report to check")
+	kind := flag.String("kind", "core", "which contract to check: core or shardsched")
+	file := flag.String("file", "", "bench report to check (default depends on -kind)")
 	flag.Parse()
 
-	data, err := os.ReadFile(*file)
+	switch *kind {
+	case "core":
+		if *file == "" {
+			*file = "BENCH_core.json"
+		}
+		gateCore(*file)
+	case "shardsched":
+		if *file == "" {
+			*file = "BENCH_shardsched.json"
+		}
+		gateShardSched(*file)
+	default:
+		fmt.Fprintf(os.Stderr, "benchgate: unknown -kind %q (want core or shardsched)\n", *kind)
+		os.Exit(2)
+	}
+}
+
+func gateCore(file string) {
+	data, err := os.ReadFile(file)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "benchgate: %v\nrun: go test -run '^$' -bench '^BenchmarkEngineCore$' -benchtime=1x .\n", err)
 		os.Exit(1)
 	}
 	var r report
 	if err := json.Unmarshal(data, &r); err != nil {
-		fmt.Fprintf(os.Stderr, "benchgate: %s: %v\n", *file, err)
+		fmt.Fprintf(os.Stderr, "benchgate: %s: %v\n", file, err)
 		os.Exit(1)
 	}
 	if r.Events <= 0 || r.Current.NsPerEvent <= 0 || r.Baseline.NsPerEvent <= 0 {
-		fmt.Fprintf(os.Stderr, "benchgate: %s: incomplete report\n", *file)
+		fmt.Fprintf(os.Stderr, "benchgate: %s: incomplete report\n", file)
 		os.Exit(1)
 	}
 
@@ -84,4 +145,38 @@ func main() {
 	}
 	fmt.Printf("benchgate: ok: %.1f Mevents/s, %.2fx over %s, %.4f allocs/event\n",
 		r.Current.EventsPerSec/1e6, r.Speedup, r.Baseline.Engine, r.Current.AllocsPerEvent)
+}
+
+func gateShardSched(file string) {
+	data, err := os.ReadFile(file)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchgate: %v\nrun: go test -run '^$' -bench '^BenchmarkShardSched$' -benchtime=1x .\n", err)
+		os.Exit(1)
+	}
+	var r shardReport
+	if err := json.Unmarshal(data, &r); err != nil {
+		fmt.Fprintf(os.Stderr, "benchgate: %s: %v\n", file, err)
+		os.Exit(1)
+	}
+	if r.Placements <= 0 || r.Current.NsPerPlacement <= 0 || r.Baseline.NsPerPlacement <= 0 {
+		fmt.Fprintf(os.Stderr, "benchgate: %s: incomplete report\n", file)
+		os.Exit(1)
+	}
+
+	fail := false
+	if r.Current.AllocsPerPlacement > maxAllocsPerPlacement {
+		fmt.Fprintf(os.Stderr, "benchgate: FAIL: %.2f allocs/placement, budget is %.0f (COW commit path)\n",
+			r.Current.AllocsPerPlacement, maxAllocsPerPlacement)
+		fail = true
+	}
+	if r.Speedup < minShardSpeedup {
+		fmt.Fprintf(os.Stderr, "benchgate: FAIL: %.2fx over %s, floor is %.1fx\n",
+			r.Speedup, r.Baseline.Scheduler, minShardSpeedup)
+		fail = true
+	}
+	if fail {
+		os.Exit(1)
+	}
+	fmt.Printf("benchgate: ok: %d hosts, %.1f µs/placement, %.2fx over %s, %.2f allocs/placement\n",
+		r.Hosts, r.Current.NsPerPlacement/1e3, r.Speedup, r.Baseline.Scheduler, r.Current.AllocsPerPlacement)
 }

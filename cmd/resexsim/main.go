@@ -127,6 +127,7 @@ func main() {
 		warmup     = flag.Duration("warmup", 100*time.Millisecond, "virtual warmup before measuring")
 		seed       = flag.Int64("seed", 0, "workload seed offset (same seed = byte-identical output)")
 		parallel   = flag.Int("parallel", runtime.GOMAXPROCS(0), "worker pool size for a figure's independent sweep points (output is byte-identical at any value)")
+		shards     = flag.Int("shards", runtime.GOMAXPROCS(0), "worker goroutines per schedshard placement round (output is byte-identical at any value; the logical shard count is the experiment's sweep axis)")
 		audit      = flag.Bool("audit", false, "run the invariant auditor alongside every figure and print its summary (deterministic; cannot change figure output)")
 		snapFile   = flag.String("snapshot", "", "capture every engine's state into this file (requires a single -fig)")
 		snapAt     = flag.Duration("snapshot-at", 0, "virtual capture time for -snapshot, measured from engine start (default warmup + duration/2)")
@@ -143,6 +144,9 @@ func main() {
 	// window must die with usage, not misbehave minutes in.
 	if *parallel < 1 {
 		usageErr("-parallel must be >= 1 (got %d)", *parallel)
+	}
+	if *shards < 1 {
+		usageErr("-shards must be >= 1 (got %d)", *shards)
 	}
 	if *duration <= 0 {
 		usageErr("-duration must be positive (got %v)", *duration)
@@ -220,11 +224,12 @@ func main() {
 	}()
 
 	opts := experiments.Options{
-		Duration:   sim.Time(duration.Nanoseconds()),
-		Warmup:     sim.Time(warmup.Nanoseconds()),
-		Seed:       *seed,
-		Parallel:   *parallel,
-		Checkpoint: plan,
+		Duration:     sim.Time(duration.Nanoseconds()),
+		Warmup:       sim.Time(warmup.Nanoseconds()),
+		Seed:         *seed,
+		Parallel:     *parallel,
+		ShardWorkers: *shards,
+		Checkpoint:   plan,
 	}
 	var index []report.IndexEntry
 	for _, id := range ids {

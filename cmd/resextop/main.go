@@ -34,6 +34,7 @@ import (
 	"resex/internal/experiments"
 	"resex/internal/faults"
 	"resex/internal/resex"
+	"resex/internal/schedshard"
 	"resex/internal/sim"
 	"resex/internal/workload"
 )
@@ -46,6 +47,8 @@ func main() {
 		storms     = flag.Float64("faults", 0, "fault storms per second to inject (0 = none)")
 		seed       = flag.Int64("seed", 0, "fault schedule seed")
 		useWL      = flag.Bool("workload", false, "drive the multi-tenant traffic engine instead of the benchex scenario")
+		shardTop   = flag.Bool("shardsched", false, "drive the multi-shard placement scheduler on a synthetic fleet and print shard/conflict counters")
+		shards     = flag.Int("shards", 4, "logical shard count for -shardsched")
 		attach     = flag.String("attach", "", "render a running resexd daemon's telemetry stream from this unix socket")
 		samples    = flag.Int("samples", 0, "with -attach: exit after this many samples (0 = stream forever)")
 	)
@@ -53,6 +56,19 @@ func main() {
 
 	if *attach != "" {
 		runAttached(*attach, *samples)
+		return
+	}
+
+	if *shardTop {
+		if *storms > 0 || *useWL {
+			fmt.Fprintln(os.Stderr, "resextop: -shardsched does not combine with -faults or -workload")
+			os.Exit(2)
+		}
+		if *shards < 1 {
+			fmt.Fprintf(os.Stderr, "resextop: -shards must be >= 1 (got %d)\n", *shards)
+			os.Exit(2)
+		}
+		runShardTop(*shards, *seed, *duration, *refresh)
 		return
 	}
 
@@ -330,4 +346,75 @@ func render(t daemon.Telemetry) {
 			name, tn.OfferedPerSec, tn.CompletedPerSec,
 			tn.Inflight, tn.Queued, tn.P99, slo)
 	}
+}
+
+// runShardTop drives the schedshard scheduler over a synthetic 128-host
+// fleet: every refresh period one arrival wave is enqueued and one
+// propose→merge→commit round runs, and the round's conflict accounting is
+// printed as it happens. The final table breaks the lifetime counters down
+// per logical shard.
+func runShardTop(shards int, seed int64, duration, refresh time.Duration) {
+	const hosts = 128
+	vms := 25 * hosts
+
+	eng := sim.New()
+	store := schedshard.NewStore()
+	fleet := make([]*schedshard.HostInfo, hosts)
+	for i := range fleet {
+		fleet[i] = &schedshard.HostInfo{
+			Node: i + 1, FreePCPUs: 31, TotalPCPUs: 31,
+			LinkBytesPerSec: 1e9, ResoHeadroom: 1,
+		}
+	}
+	store.Publish(fleet)
+	sched := schedshard.NewScheduler(store, schedshard.Config{
+		Shards: shards, Workers: shards, Seed: seed, AvoidConflicts: true,
+	})
+
+	runFor := sim.Time(duration.Nanoseconds())
+	period := sim.Time(refresh.Nanoseconds())
+	if period <= 0 {
+		period = 100 * sim.Millisecond
+	}
+	ticks := int(runFor / period)
+	if ticks < 1 {
+		ticks = 1
+	}
+	perWave := (vms + ticks - 1) / ticks
+	rng := sim.NewRand(seed)
+	next := 0
+
+	fmt.Printf("schedshard: %d hosts, %d VMs, %d logical shards (conflict avoidance on)\n\n", hosts, vms, shards)
+	fmt.Printf("%10s %6s %9s %9s %10s %8s %8s %9s\n",
+		"time", "round", "proposed", "committed", "conflicted", "starved", "pending", "store-ver")
+	eng.Every(period, func() {
+		for i := 0; i < perWave && next < vms; i++ {
+			var spec schedshard.Spec
+			var vm schedshard.VMInfo
+			if rng.Intn(4) == 0 {
+				spec = schedshard.Spec{Name: fmt.Sprintf("bulk%d", next), BufferSize: 2 << 20}
+				vm = schedshard.VMInfo{Spec: spec, BytesPerSec: 60e6, BufferSize: 2 << 20}
+			} else {
+				spec = schedshard.Spec{Name: fmt.Sprintf("ls%d", next), LatencySensitive: true, BufferSize: 64 << 10}
+				vm = schedshard.VMInfo{Spec: spec, BytesPerSec: 2e6, BufferSize: 64 << 10}
+			}
+			sched.Enqueue(spec, vm)
+			next++
+		}
+		rs := sched.Round()
+		fmt.Printf("%10v %6d %9d %9d %10d %8d %8d %9d\n",
+			eng.Now(), rs.Round, rs.Proposed, rs.Committed, rs.Conflicted,
+			rs.Starved, rs.Pending, store.Version())
+	})
+	eng.RunUntil(runFor)
+	eng.Shutdown()
+
+	fmt.Printf("\nper-shard lifetime counters:\n%6s %9s %9s %10s %8s\n",
+		"shard", "proposed", "committed", "conflicted", "starved")
+	for _, sc := range sched.Shards() {
+		fmt.Printf("%6d %9d %9d %10d %8d\n",
+			sc.Shard, sc.Proposed, sc.Committed, sc.Conflicted, sc.Starved)
+	}
+	fmt.Printf("\ntotal: %d bound, %d failed, %d conflicts, %d retries, bind-fnv %016x\n",
+		len(sched.Bound()), len(sched.Failed()), sched.Conflicts(), sched.Retries(), sched.BindFNV())
 }

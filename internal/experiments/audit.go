@@ -5,6 +5,8 @@ import (
 	"resex/internal/invariant"
 	"resex/internal/placement"
 	"resex/internal/resex"
+	"resex/internal/schedshard"
+	"resex/internal/sim"
 	"resex/internal/snapshot"
 	"resex/internal/workload"
 )
@@ -74,6 +76,25 @@ func (o Options) auditFleet(f *placement.Fleet) (func(), *snapshot.Source) {
 		return func() {}, src
 	}
 	return a.Close, src
+}
+
+// auditShardSched attaches the pure observers to a standalone multi-shard
+// scheduler run (abl-shardsched): the scheduler has no testbed — its hosts
+// are synthetic snapshot entries, not simulated machines — so the invariant
+// auditor runs with only its engine-level checks (clock monotonicity, step
+// accounting), and the snapshot source carries the scheduler's own state.
+func (o Options) auditShardSched(eng *sim.Engine, sched *schedshard.Scheduler) func() {
+	var a *invariant.Auditor
+	if o.Audit != nil {
+		a = invariant.New(eng, o.Audit)
+	}
+	if o.Checkpoint != nil {
+		o.Checkpoint.Arm(eng, o.PointSeed, &snapshot.Source{Sched: sched, Auditor: a})
+	}
+	if a == nil {
+		return func() {}
+	}
+	return a.Close
 }
 
 // auditWorkload is auditTestbed for a multi-tenant workload engine: hosts

@@ -58,6 +58,8 @@ func init() {
 		func(o Options) (Result, error) { return AblWorkloadMix(o) })
 	register("abl-restart", "Restart: crash-restart determinism and mid-run policy flip",
 		func(o Options) (Result, error) { return AblRestart(o) })
+	register("abl-shardsched", "Shard: optimistic multi-shard placement, conflict rate vs shard count",
+		func(o Options) (Result, error) { return AblShardSched(o) })
 	register("softrt", "Extension: soft-real-time stream deadline misses",
 		func(o Options) (Result, error) { return SoftRT(o) })
 }

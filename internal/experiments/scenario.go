@@ -60,6 +60,12 @@ type Options struct {
 	// hand. It is informational for the historical figure drivers, which
 	// keep their original Seed arithmetic to preserve recorded outputs.
 	PointSeed int64
+	// ShardWorkers bounds the goroutines a schedshard scheduler uses to
+	// run one placement round's logical shards (resexsim -shards). Like
+	// Parallel it is a wall-clock knob only: shard partition, proposal
+	// order and the commit merge are all canonical, so output is
+	// byte-identical at any width. Default 1.
+	ShardWorkers int
 	// Audit, when non-nil, attaches a runtime invariant auditor to every
 	// engine the experiment builds and merges results into this collector.
 	// The auditor is a pure observer: enabling it cannot change any figure
@@ -83,6 +89,9 @@ func (o Options) WithDefaults() Options {
 	}
 	if o.Parallel <= 0 {
 		o.Parallel = 1
+	}
+	if o.ShardWorkers <= 0 {
+		o.ShardWorkers = 1
 	}
 	return o
 }

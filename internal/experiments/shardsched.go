@@ -1,0 +1,287 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"resex/internal/schedshard"
+	"resex/internal/sim"
+)
+
+// ---------------------------------------------------------------------------
+// abl-shardsched: optimistic multi-shard placement at fleet scale — the
+// conflict-rate-vs-shard-count curve.
+// ---------------------------------------------------------------------------
+
+// AblShardSchedRow is one (mode, shard count) outcome over the synthetic
+// fleet.
+type AblShardSchedRow struct {
+	// Mode is the tie-break policy: "naive" (every shard breaks score ties
+	// toward the lowest node — maximal herding) or "avoid" (per-shard
+	// rotated tie-break, the smart conflict avoidance).
+	Mode string
+	// Shards is the logical shard count the pending queue is partitioned
+	// into. This is the semantic axis of the experiment — unlike the
+	// resexsim -shards worker width, which never changes output.
+	Shards int
+	// Rounds is how many propose→merge→commit cycles draining the arrival
+	// sequence took.
+	Rounds uint64
+	// Placed and Failed partition the arrivals.
+	Placed int
+	Failed int
+	// Conflicts counts binds rejected at commit (a shard bound into
+	// headroom an earlier-keyed bind had exhausted); ConflictPct is
+	// conflicts over all proposals (commits + conflicts).
+	Conflicts   uint64
+	ConflictPct float64
+	// Retries counts requeued requests (conflict losers + starved).
+	Retries uint64
+	// Coloc counts latency-sensitive VMs sharing a host with at least one
+	// large-buffer bulk VM in the final state — the placement-quality
+	// check that more shards must not quietly trade quality for speed.
+	Coloc int
+	// BindFNV fingerprints the full bind sequence (key, node, in commit
+	// order), hex. The determinism gates compare it across worker counts
+	// and restore paths.
+	BindFNV string
+}
+
+// AblShardSchedResult is the conflict-rate curve across shard counts, for
+// both tie-break modes.
+type AblShardSchedResult struct {
+	Hosts int
+	VMs   int
+	Rows  []AblShardSchedRow
+}
+
+// Title implements Result.
+func (r *AblShardSchedResult) Title() string {
+	return "Shard: optimistic multi-shard placement, conflict rate vs shard count"
+}
+
+// WriteText implements Result.
+func (r *AblShardSchedResult) WriteText(w io.Writer) error {
+	fmt.Fprintf(w, "%s (%d hosts, %d VMs)\n\n%-6s %7s %7s %7s %7s %10s %10s %8s %7s %17s\n",
+		r.Title(), r.Hosts, r.VMs,
+		"mode", "shards", "rounds", "placed", "failed", "conflicts", "conflict%", "retries", "coloc", "bind-fnv")
+	for _, row := range r.Rows {
+		fmt.Fprintf(w, "%-6s %7d %7d %7d %7d %10d %10.2f %8d %7d %17s\n",
+			row.Mode, row.Shards, row.Rounds, row.Placed, row.Failed,
+			row.Conflicts, row.ConflictPct, row.Retries, row.Coloc, row.BindFNV)
+	}
+	return nil
+}
+
+// WriteCSV implements Result.
+func (r *AblShardSchedResult) WriteCSV(w io.Writer) error {
+	fmt.Fprintln(w, "mode,shards,rounds,placed,failed,conflicts,conflict_pct,retries,coloc,bind_fnv")
+	for _, row := range r.Rows {
+		fmt.Fprintf(w, "%s,%d,%d,%d,%d,%d,%g,%d,%d,%s\n",
+			row.Mode, row.Shards, row.Rounds, row.Placed, row.Failed,
+			row.Conflicts, row.ConflictPct, row.Retries, row.Coloc, row.BindFNV)
+	}
+	return nil
+}
+
+// shardSchedScale sizes the synthetic fleet from the run duration: the
+// default 2 s window gets the full 2k-host / 50k-VM fleet; short CI and
+// resume-sweep windows scale down proportionally (floor 64 hosts) so the
+// experiment stays seconds, not minutes. VMs are 25 per host against 31
+// guest slots — an ~80% packed fleet, where optimistic conflicts actually
+// happen (a near-empty fleet absorbs every duplicate claim).
+func shardSchedScale(o Options) (hosts, vms int) {
+	frac := float64(o.Duration) / float64(2*sim.Second)
+	if frac > 1 {
+		frac = 1
+	}
+	hosts = int(2000*frac + 0.5)
+	if hosts < 64 {
+		hosts = 64
+	}
+	return hosts, 25 * hosts
+}
+
+// shardSchedPCPUs is each synthetic host's guest capacity.
+const shardSchedPCPUs = 31
+
+// shardSchedHosts builds the synthetic fleet view the store publishes:
+// uniform hosts, 1 GB/s uplinks, full Reso headroom.
+func shardSchedHosts(n int) []*schedshard.HostInfo {
+	hosts := make([]*schedshard.HostInfo, n)
+	for i := range hosts {
+		hosts[i] = &schedshard.HostInfo{
+			Node:            i + 1,
+			FreePCPUs:       shardSchedPCPUs,
+			TotalPCPUs:      shardSchedPCPUs,
+			LinkBytesPerSec: 1e9,
+			ResoHeadroom:    1,
+		}
+	}
+	return hosts
+}
+
+// shardSchedArrival is one synthetic VM: the spec the pipeline scores and
+// the VMInfo its bind installs (declared profile estimates — the synthetic
+// fleet has no IBMon to measure real rates).
+type shardSchedArrival struct {
+	spec schedshard.Spec
+	vm   schedshard.VMInfo
+}
+
+// shardSchedArrivals builds the arrival sequence: the abl-placement mix
+// (~25% large-buffer bulk among latency-sensitive VMs) shuffled with the
+// same seed for every sweep point, so every (mode, shards) cell places the
+// identical workload and the curve isolates the scheduler.
+func shardSchedArrivals(vms int, seed int64) []shardSchedArrival {
+	out := make([]shardSchedArrival, 0, vms)
+	nLS, nBulk := 0, 0
+	for i := 0; i < vms; i++ {
+		if i%4 == 3 {
+			spec := schedshard.Spec{Name: fmt.Sprintf("bulk%d", nBulk), BufferSize: IntfBuffer}
+			out = append(out, shardSchedArrival{spec: spec, vm: schedshard.VMInfo{
+				Spec: spec, BytesPerSec: 60e6, MTUsPerSec: 60e6 / 1024, BufferSize: IntfBuffer,
+			}})
+			nBulk++
+		} else {
+			spec := schedshard.Spec{Name: fmt.Sprintf("ls%d", nLS), LatencySensitive: true, BufferSize: BaseBuffer}
+			out = append(out, shardSchedArrival{spec: spec, vm: schedshard.VMInfo{
+				Spec: spec, BytesPerSec: 2e6, MTUsPerSec: 2e6 / 1024, BufferSize: BaseBuffer,
+			}})
+			nLS++
+		}
+	}
+	rng := sim.NewRand(seed ^ 0x51a4d5)
+	for i := len(out) - 1; i > 0; i-- {
+		j := rng.Intn(i + 1)
+		out[i], out[j] = out[j], out[i]
+	}
+	return out
+}
+
+// shardSchedWaves is how many arrival batches the sequence is split into:
+// each scheduling tick enqueues one wave and runs one round, so the
+// scheduler sees sustained churn instead of one giant batch.
+const shardSchedWaves = 40
+
+// runShardSchedPoint drives one (mode, shards) cell: a bare engine ticks
+// the scheduler — enqueue a wave, run a round — 48 times across the run
+// window, then drains whatever the window did not finish. All scheduling
+// state is virtual-time-driven, so the armed snapshot breakpoint at T sees
+// a mid-drain scheduler whose state must replay byte-identically.
+func runShardSchedPoint(o Options, shards int, avoid bool) (AblShardSchedRow, error) {
+	mode := "naive"
+	if avoid {
+		mode = "avoid"
+	}
+	hosts, vms := shardSchedScale(o)
+	row := AblShardSchedRow{Mode: mode, Shards: shards}
+
+	eng := sim.New()
+	store := schedshard.NewStore()
+	store.Publish(shardSchedHosts(hosts))
+	sched := schedshard.NewScheduler(store, schedshard.Config{
+		Shards:         shards,
+		Workers:        o.ShardWorkers,
+		Seed:           o.Seed,
+		AvoidConflicts: avoid,
+	})
+	stopAudit := o.auditShardSched(eng, sched)
+
+	arrivals := shardSchedArrivals(vms, o.Seed)
+	perWave := (len(arrivals) + shardSchedWaves - 1) / shardSchedWaves
+	wave := 0
+	enqueueWave := func() {
+		lo := wave * perWave
+		hi := lo + perWave
+		if hi > len(arrivals) {
+			hi = len(arrivals)
+		}
+		for _, a := range arrivals[lo:hi] {
+			sched.Enqueue(a.spec, a.vm)
+		}
+		wave++
+	}
+
+	window := o.Warmup + o.Duration
+	tick := window / 48
+	if tick <= 0 {
+		tick = 1
+	}
+	var step func()
+	step = func() {
+		if wave < shardSchedWaves {
+			enqueueWave()
+		}
+		sched.Round()
+		if wave < shardSchedWaves || sched.PendingLen() > 0 {
+			eng.After(tick, step)
+		}
+	}
+	eng.After(tick, step)
+	eng.RunUntil(window)
+	stopAudit()
+	// Finish whatever the window did not cover (short CI runs): the
+	// breakpoint has already fired at T, so the tail is outside any
+	// capture — and it is as deterministic as the ticked part.
+	for wave < shardSchedWaves {
+		enqueueWave()
+		sched.Round()
+	}
+	sched.Run()
+	eng.Shutdown()
+
+	row.Rounds = sched.Rounds()
+	row.Placed = len(sched.Bound())
+	row.Failed = len(sched.Failed())
+	row.Conflicts = sched.Conflicts()
+	if total := uint64(row.Placed) + row.Conflicts; total > 0 {
+		row.ConflictPct = 100 * float64(row.Conflicts) / float64(total)
+	}
+	row.Retries = sched.Retries()
+	row.BindFNV = fmt.Sprintf("%016x", sched.BindFNV())
+	for _, h := range store.Snapshot().Hosts {
+		bulk, ls := 0, 0
+		for _, vm := range h.VMs {
+			if vm.EffectiveBuffer() >= 256<<10 {
+				bulk++
+			} else if vm.Spec.LatencySensitive {
+				ls++
+			}
+		}
+		if bulk > 0 {
+			row.Coloc += ls
+		}
+	}
+	return row, nil
+}
+
+// AblShardSched runs the (mode × shard count) grid on the synthetic fleet.
+// Every cell places the same seeded arrival sequence; the shard count is
+// swept {1, 2, 4, 8, 16} for both tie-break modes. One logical shard is
+// the serial scheduler (zero conflicts by construction); the curve shows
+// what optimistic concurrency costs as shards multiply, and what the
+// rotated tie-break buys back.
+func AblShardSched(o Options) (*AblShardSchedResult, error) {
+	o = o.WithDefaults()
+	hosts, vms := shardSchedScale(o)
+	var points []SweepPoint[AblShardSchedRow]
+	for _, avoid := range []bool{false, true} {
+		for _, shards := range []int{1, 2, 4, 8, 16} {
+			avoid, shards := avoid, shards
+			mode := "naive"
+			if avoid {
+				mode = "avoid"
+			}
+			points = append(points, Point(fmt.Sprintf("%s s=%d", mode, shards),
+				func(o Options) (AblShardSchedRow, error) {
+					return runShardSchedPoint(o, shards, avoid)
+				}))
+		}
+	}
+	rows, err := RunSweep(o, points)
+	if err != nil {
+		return nil, err
+	}
+	return &AblShardSchedResult{Hosts: hosts, VMs: vms, Rows: rows}, nil
+}

@@ -15,15 +15,28 @@ type PlacementState struct {
 }
 
 // State is the fleet's deterministic state export: every placement's
-// binding in placement order plus the fleet RNG's stream position.
+// binding in placement order, the fleet RNG's stream position, and the
+// cluster-state store's version/commit accounting (the fleet publishes a
+// snapshot before every placement decision and commits every bind through
+// the store, so these counters advance deterministically with the run).
 type State struct {
-	RNGDraws   uint64           `json:"rng_draws"`
-	Placements []PlacementState `json:"placements"`
+	RNGDraws       uint64           `json:"rng_draws"`
+	StoreVersion   uint64           `json:"store_version"`
+	StorePublishes uint64           `json:"store_publishes"`
+	StoreCommits   uint64           `json:"store_commits"`
+	StoreConflicts uint64           `json:"store_conflicts"`
+	Placements     []PlacementState `json:"placements"`
 }
 
 // Checkpoint exports the fleet's current placement state. Pure observer.
 func (f *Fleet) Checkpoint() State {
-	st := State{RNGDraws: f.rng.Draws()}
+	st := State{
+		RNGDraws:       f.rng.Draws(),
+		StoreVersion:   f.store.Version(),
+		StorePublishes: f.store.Publishes(),
+		StoreCommits:   f.store.Commits(),
+		StoreConflicts: f.store.Conflicts(),
+	}
 	for _, pl := range f.placements {
 		st.Placements = append(st.Placements, PlacementState{
 			Name:        pl.Spec.Name,

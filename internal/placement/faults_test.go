@@ -160,6 +160,78 @@ func TestRebalancerBacksOffAfterAbortThenSucceeds(t *testing.T) {
 	}
 }
 
+// TestRebalancerRetriesThroughFaultStorm runs the full rollback→retry
+// interaction under a generated fault storm: repeated MigrationFail windows
+// force pre-copy aborts while telemetry blackouts, link degrades and HCA
+// stalls from faults.Generate batter both hosts. The rebalancer must roll
+// back cleanly on every abort (no leaked PCPU reservations), back off, and
+// still complete the evacuation once a window lifts.
+func TestRebalancerRetriesThroughFaultStorm(t *testing.T) {
+	f := NewFleet(Config{
+		Hosts:             2,
+		Seed:              13,
+		IntervalsPerEpoch: 100,
+		Strategy:          pinStrategy{node: 1},
+		Policy:            func() resex.Policy { return resex.NewFreeMarket() },
+	})
+	inj := faults.NewInjector(f.TB.Eng)
+	f.WireFaults(inj)
+	s := faults.Generate(13, faults.GenConfig{
+		Hosts:        []int{1, 2},
+		Start:        0,
+		Horizon:      1200 * sim.Millisecond,
+		StormsPerSec: 3,
+	})
+	// A migration-fail window spanning the whole storm period: every
+	// attempt the rebalancer makes while the storm rages aborts; the
+	// eventual retry after the window lands.
+	s.Add(faults.Event{At: 0, Kind: faults.MigrationFail, Host: 1,
+		Duration: 1500 * sim.Millisecond})
+	inj.Arm(s)
+
+	if _, err := f.Place(lsWorkload("ls0", 1)); err != nil {
+		t.Fatal(err)
+	}
+	bulk, err := f.Place(bulkWorkload("bulk0", 102))
+	if err != nil {
+		t.Fatal(err)
+	}
+	freeBefore := f.Workers[0].FreePCPUs() + f.Workers[1].FreePCPUs()
+
+	rb := NewRebalancer(f, RebalanceConfig{
+		Every: 1, Patience: 2,
+		Migration:    MigrationConfig{StateBytes: 8 << 20},
+		RetryBackoff: 60 * sim.Millisecond,
+	})
+	rb.Start()
+	f.TB.Eng.RunUntil(4000 * sim.Millisecond)
+
+	if len(f.Log.Failures) == 0 {
+		t.Fatal("no aborted migration recorded inside the fail window")
+	}
+	if len(f.Log.Migrations) == 0 {
+		t.Fatal("rebalancer never completed the evacuation after the storm")
+	}
+	if f.Log.Migrations[0].VM != "bulk0" {
+		t.Errorf("rebalancer moved %q, want bulk0", f.Log.Migrations[0].VM)
+	}
+	// Every abort rolled back without leaking a reservation: the fleet's
+	// total free PCPUs are unchanged — the VMs just moved.
+	if freeAfter := f.Workers[0].FreePCPUs() + f.Workers[1].FreePCPUs(); freeAfter != freeBefore {
+		t.Errorf("fleet free PCPUs %d, want %d (aborts must not leak slots)",
+			freeAfter, freeBefore)
+	}
+	if bulk.MigrationFailures() != 0 {
+		t.Errorf("failure streak %d after successful migration, want 0 (reset)", bulk.MigrationFailures())
+	}
+	if bulk.App.ServerVM.Host != f.Workers[1] {
+		t.Error("bulk0 did not land on node2")
+	}
+	if st := bulk.App.Server.Stats(); st.Served == 0 {
+		t.Error("interferer dead after storm-era migration")
+	}
+}
+
 // TestQuarantineBlackedOutHostSteersPlacement places during a telemetry
 // blackout: with QuarantineBlackouts the blacked-out host (which spread
 // would otherwise pick) must be skipped; without it, placement proceeds

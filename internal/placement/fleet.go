@@ -8,6 +8,7 @@ import (
 	"resex/internal/faults"
 	"resex/internal/ibmon"
 	"resex/internal/resex"
+	"resex/internal/schedshard"
 	"resex/internal/sim"
 )
 
@@ -146,6 +147,8 @@ type Fleet struct {
 
 	cfg        Config
 	rng        *sim.Rand
+	store      *schedshard.Store
+	placeSeq   uint64 // canonical bind keys for store commits
 	placements []*Placement
 	faults     *faults.Injector // nil = no injection wired
 }
@@ -165,9 +168,10 @@ func NewFleet(cfg Config) *Fleet {
 			LinkBandwidth: cfg.LinkBandwidth * float64(cfg.Hosts),
 			PCPUs:         cfg.ClientPCPUs,
 		}),
-		Log: &EventLog{},
-		cfg: cfg,
-		rng: sim.NewRand(cfg.Seed),
+		Log:   &EventLog{},
+		cfg:   cfg,
+		rng:   sim.NewRand(cfg.Seed),
+		store: schedshard.NewStore(),
 	}
 	for n := 1; n <= cfg.Hosts; n++ {
 		h := tb.Host(n)
@@ -252,21 +256,22 @@ func (f *Fleet) onEpoch(hostIdx int, es resex.EpochSummary) {
 	}
 }
 
-// snapshot builds the scheduler's view of every worker host (minus an
-// optional excluded node id; 0 excludes nothing).
-func (f *Fleet) snapshot(excludeNode int) []*HostInfo {
-	return f.buildSnapshot(excludeNode, nil)
+// Store returns the fleet's cluster-state store: the live view the fleet
+// publishes (refreshed before every placement decision) and the commit
+// point every bind goes through. The multi-shard scheduler and resextop
+// read the same store.
+func (f *Fleet) Store() *schedshard.Store { return f.store }
+
+// refresh rebuilds the scheduler's view of every worker host from live
+// fleet state and publishes it as the store's next snapshot version.
+func (f *Fleet) refresh() *schedshard.Snapshot {
+	return f.store.Publish(f.buildView())
 }
 
-// buildSnapshot is snapshot with an optional placement elided, as if its VM
-// were not running: the rebalancer scores "where should this VM be?"
-// without the VM's own footprint biasing its current host.
-func (f *Fleet) buildSnapshot(excludeNode int, skip *Placement) []*HostInfo {
-	var out []*HostInfo
+// buildView constructs the per-host state the published snapshot holds.
+func (f *Fleet) buildView() []*HostInfo {
+	out := make([]*HostInfo, 0, len(f.Workers))
 	for i, h := range f.Workers {
-		if h.Node == excludeNode {
-			continue
-		}
 		hi := &HostInfo{
 			Node:            h.Node,
 			FreePCPUs:       h.FreePCPUs(),
@@ -276,7 +281,7 @@ func (f *Fleet) buildSnapshot(excludeNode int, skip *Placement) []*HostInfo {
 			Health:          f.HostHealth(i),
 		}
 		for _, pl := range f.placements {
-			if pl.HostIdx != i || pl == skip {
+			if pl.HostIdx != i {
 				continue
 			}
 			vi := VMInfo{Spec: pl.Spec, IntfPercent: pl.lastIntf, CapPct: pl.lastCap}
@@ -295,12 +300,17 @@ func (f *Fleet) buildSnapshot(excludeNode int, skip *Placement) []*HostInfo {
 			}
 			hi.ResoHeadroom = sum / float64(len(vms))
 		}
-		if skip != nil && skip.HostIdx == i && hi.FreePCPUs < hi.TotalPCPUs {
-			hi.FreePCPUs++ // the elided VM would vacate its PCPU
-		}
 		out = append(out, hi)
 	}
 	return out
+}
+
+// whatIf refreshes the store and derives the rebalancer's scoring view: the
+// current snapshot with one placement's VM elided, as if it were not
+// running — the rebalancer scores "where should this VM be?" without the
+// VM's own footprint biasing its current host.
+func (f *Fleet) whatIf(skip *Placement) []*HostInfo {
+	return f.refresh().WithoutVM(f.Workers[skip.HostIdx].Node, skip.Spec.Name)
 }
 
 // workerIdx maps a node id back to a Workers index.
@@ -313,14 +323,22 @@ func (f *Fleet) workerIdx(node int) int {
 	panic(fmt.Sprintf("placement: unknown worker node %d", node))
 }
 
-// Place runs the strategy over the current fleet state, boots the workload
+// Place runs the strategy over the store's freshly published snapshot,
+// commits the bind through the store (the same commit-time conflict check
+// the multi-shard scheduler uses; serial placement against a fresh view
+// cannot conflict, so a conflict here is a hard error), boots the workload
 // on the chosen host, puts the server VM under the host's ResEx manager and
 // starts server, client and monitoring agent.
 func (f *Fleet) Place(w Workload) (*Placement, error) {
 	spec := Spec{Name: w.Name, LatencySensitive: w.LatencySensitive, BufferSize: w.BufferSize}
-	host, _, err := f.cfg.Strategy.Pick(f.snapshot(0), spec, f.rng)
+	host, _, err := f.cfg.Strategy.Pick(f.refresh().Hosts, spec, f.rng)
 	if err != nil {
 		return nil, err
+	}
+	f.placeSeq++
+	bind := schedshard.Bind{Key: f.placeSeq, Node: host.Node, VM: VMInfo{Spec: spec}}
+	if _, conflicted := f.store.CommitRound([]schedshard.Bind{bind}); len(conflicted) != 0 {
+		return nil, fmt.Errorf("placement: bind of %q onto node%d conflicted at commit", w.Name, host.Node)
 	}
 	idx := f.workerIdx(host.Node)
 	h := f.Workers[idx]

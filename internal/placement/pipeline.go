@@ -18,306 +18,77 @@
 //     and evacuates interferers or victims when a VM stays interfered even
 //     though the host policy has throttled the culprit to its floor.
 //
+// The cluster-state model and the pipeline itself live in
+// internal/schedshard — the shared-state multi-shard scheduler built for
+// thousand-host fleets — and are aliased here, so fleet code and the
+// scale-out scheduler operate on the same types. The fleet publishes its
+// live state into a schedshard.Store and commits every bind through it,
+// which is also where placement-vs-headroom conflicts are counted.
+//
 // Everything is deterministic: the same seed yields identical placement
 // decisions and an identical migration schedule.
 package placement
 
 import (
 	"fmt"
-	"sort"
 
+	"resex/internal/schedshard"
 	"resex/internal/sim"
 )
 
-// Spec is what the scheduler knows about a VM *before* it runs: its
-// declared workload class. Resident VMs are additionally described by live
-// IBMon profiles (see VMInfo); an arriving VM only has its spec.
-type Spec struct {
-	Name string
-	// LatencySensitive marks VMs with a latency SLA (the paper's trading
-	// servers); false marks bulk/throughput workloads.
-	LatencySensitive bool
-	// BufferSize is the declared application buffer size in bytes — the
-	// paper's single best predictor of how much damage a VM can do to a
-	// colocated latency-sensitive neighbor.
-	BufferSize int
-}
-
-// VMInfo is the scheduler's view of one VM already resident on a host:
-// spec plus the live signals the host's IBMon and ResEx export.
-type VMInfo struct {
-	Spec Spec
-	// MTUsPerSec/BytesPerSec are the IBMon-profiled send rates.
-	MTUsPerSec  float64
-	BytesPerSec float64
-	// BufferSize is the IBMon-inferred buffer size (may exceed the spec's
-	// declared size; the larger of the two is what scorers should use).
-	BufferSize int
-	// IntfPercent is the VM's latency elevation over its baseline in the
-	// last ResEx epoch, percent.
-	IntfPercent float64
-	// CapPct is the CPU cap the host's policy currently enforces
-	// (100 = uncapped).
-	CapPct float64
-}
-
-// EffectiveBuffer returns the larger of declared and inferred buffer size.
-func (v VMInfo) EffectiveBuffer() int {
-	if v.BufferSize > v.Spec.BufferSize {
-		return v.BufferSize
-	}
-	return v.Spec.BufferSize
-}
-
-// HostHealth classifies a host for scheduling purposes, derived from its
-// IBMon monitor's observability (see Fleet.HostHealth).
-type HostHealth int
-
-// Health states.
-const (
-	// HealthOK: telemetry fully trusted.
-	HealthOK HostHealth = iota
-	// HealthDegraded: telemetry partially stale (remapping targets or low
-	// confidence); still schedulable, but its profiles may lie.
-	HealthDegraded
-	// HealthQuarantined: telemetry blacked out and quarantining enabled —
-	// no new VM binds here until the host can be observed again.
-	HealthQuarantined
+// The scheduling vocabulary is shared with the multi-shard scheduler:
+// specs, VM and host views, health states, plugin interfaces and the
+// pipeline all live in internal/schedshard and keep their original
+// placement API here as aliases.
+type (
+	// Spec is what the scheduler knows about a VM before it runs.
+	Spec = schedshard.Spec
+	// VMInfo is the scheduler's view of one resident VM.
+	VMInfo = schedshard.VMInfo
+	// HostHealth classifies a host for scheduling purposes.
+	HostHealth = schedshard.HostHealth
+	// HostInfo is one host's state snapshot, the unit filters and scorers
+	// operate on.
+	HostInfo = schedshard.HostInfo
+	// FilterPlugin rules hosts in or out for a spec.
+	FilterPlugin = schedshard.FilterPlugin
+	// ScorePlugin ranks a feasible host for a spec in [0, 1].
+	ScorePlugin = schedshard.ScorePlugin
+	// Pipeline is the filter → score → bind decision chain.
+	Pipeline = schedshard.Pipeline
+	// HostScore is one host's pipeline outcome.
+	HostScore = schedshard.HostScore
+	// FitsPCPUs is the capacity filter.
+	FitsPCPUs = schedshard.FitsPCPUs
+	// HealthyHost filters out quarantined hosts.
+	HealthyHost = schedshard.HealthyHost
+	// SpreadByCPU scores hosts by free PCPU fraction.
+	SpreadByCPU = schedshard.SpreadByCPU
+	// ResoHeadroom scores hosts by remaining economic room.
+	ResoHeadroom = schedshard.ResoHeadroom
+	// InterferenceAware penalizes fatal colocations.
+	InterferenceAware = schedshard.InterferenceAware
 )
 
-// String names the health state.
-func (h HostHealth) String() string {
-	switch h {
-	case HealthOK:
-		return "OK"
-	case HealthDegraded:
-		return "degraded"
-	case HealthQuarantined:
-		return "quarantined"
-	default:
-		return fmt.Sprintf("health(%d)", int(h))
-	}
-}
-
-// HostInfo is one host's state snapshot, the unit filters and scorers
-// operate on.
-type HostInfo struct {
-	Node       int
-	FreePCPUs  int
-	TotalPCPUs int // guest-assignable PCPUs (excludes dom0's)
-	// Health gates schedulability: quarantined hosts fail the HealthyHost
-	// filter every built-in pipeline carries.
-	Health HostHealth
-	// LinkBytesPerSec is the host uplink capacity.
-	LinkBytesPerSec float64
-	// IOCommitted is the fraction of the uplink the resident VMs' profiled
-	// send rates already account for.
-	IOCommitted float64
-	// ResoHeadroom is the mean remaining Reso balance fraction across the
-	// host's managed VMs (1 = untouched allocations, 0 = exhausted).
-	ResoHeadroom float64
-	VMs          []VMInfo
-}
-
-// FilterPlugin rules hosts in or out for a spec.
-type FilterPlugin interface {
-	Name() string
-	Filter(h *HostInfo, s Spec) bool
-}
-
-// ScorePlugin ranks a feasible host for a spec in [0, 1] (higher = better).
-type ScorePlugin interface {
-	Name() string
-	Score(h *HostInfo, s Spec) float64
-}
-
-// weightedScorer pairs a scorer with its weight in the pipeline sum.
-type weightedScorer struct {
-	plugin ScorePlugin
-	weight float64
-}
-
-// Pipeline is the filter → score → bind decision chain.
-type Pipeline struct {
-	filters []FilterPlugin
-	scorers []weightedScorer
-}
+// Health states (see schedshard.HostHealth).
+const (
+	HealthOK          = schedshard.HealthOK
+	HealthDegraded    = schedshard.HealthDegraded
+	HealthQuarantined = schedshard.HealthQuarantined
+)
 
 // NewPipeline creates an empty pipeline; compose it with AddFilter and
 // AddScorer.
-func NewPipeline() *Pipeline { return &Pipeline{} }
+func NewPipeline() *Pipeline { return schedshard.NewPipeline() }
 
-// AddFilter appends a filter plugin.
-func (p *Pipeline) AddFilter(f FilterPlugin) *Pipeline {
-	p.filters = append(p.filters, f)
-	return p
-}
+// NewSpreadPipeline is the CPU-only spreading scheduler: capacity and
+// health filters plus SpreadByCPU.
+func NewSpreadPipeline() *Pipeline { return schedshard.NewSpreadPipeline() }
 
-// AddScorer appends a score plugin with the given weight.
-func (p *Pipeline) AddScorer(s ScorePlugin, weight float64) *Pipeline {
-	p.scorers = append(p.scorers, weightedScorer{s, weight})
-	return p
-}
-
-// HostScore is one host's pipeline outcome, kept for decision logging.
-type HostScore struct {
-	Node     int
-	Feasible bool
-	Score    float64
-}
-
-// Select runs the pipeline over the host snapshots: hosts failing any
-// filter are out; the rest are scored by the weighted sum of all scorers;
-// the best score wins, ties broken by lowest node id (deterministic).
-// The returned trace covers every candidate.
-func (p *Pipeline) Select(hosts []*HostInfo, s Spec) (*HostInfo, []HostScore, error) {
-	var best *HostInfo
-	bestScore := 0.0
-	trace := make([]HostScore, 0, len(hosts))
-	for _, h := range hosts {
-		hs := HostScore{Node: h.Node, Feasible: true}
-		for _, f := range p.filters {
-			if !f.Filter(h, s) {
-				hs.Feasible = false
-				break
-			}
-		}
-		if hs.Feasible {
-			for _, ws := range p.scorers {
-				hs.Score += ws.weight * ws.plugin.Score(h, s)
-			}
-			if best == nil || hs.Score > bestScore ||
-				(hs.Score == bestScore && h.Node < best.Node) {
-				best, bestScore = h, hs.Score
-			}
-		}
-		trace = append(trace, hs)
-	}
-	sort.Slice(trace, func(i, j int) bool { return trace[i].Node < trace[j].Node })
-	if best == nil {
-		return nil, trace, fmt.Errorf("placement: no feasible host for %q", s.Name)
-	}
-	return best, trace, nil
-}
-
-// ---------------------------------------------------------------------------
-// Built-in plugins.
-// ---------------------------------------------------------------------------
-
-// FitsPCPUs is the capacity filter: a guest needs a dedicated PCPU.
-type FitsPCPUs struct{}
-
-// Name implements FilterPlugin.
-func (FitsPCPUs) Name() string { return "fits-pcpus" }
-
-// Filter implements FilterPlugin.
-func (FitsPCPUs) Filter(h *HostInfo, _ Spec) bool { return h.FreePCPUs > 0 }
-
-// HealthyHost filters out quarantined hosts: binding a VM to a host that
-// cannot be observed means ResEx would manage it blind from the first
-// interval. Degraded hosts stay schedulable (their stale profiles just score
-// worse).
-type HealthyHost struct{}
-
-// Name implements FilterPlugin.
-func (HealthyHost) Name() string { return "healthy-host" }
-
-// Filter implements FilterPlugin.
-func (HealthyHost) Filter(h *HostInfo, _ Spec) bool { return h.Health != HealthQuarantined }
-
-// SpreadByCPU scores hosts by free PCPU fraction: the classic
-// least-allocated spreading any CPU-only scheduler does.
-type SpreadByCPU struct{}
-
-// Name implements ScorePlugin.
-func (SpreadByCPU) Name() string { return "spread-by-cpu" }
-
-// Score implements ScorePlugin.
-func (SpreadByCPU) Score(h *HostInfo, _ Spec) float64 {
-	if h.TotalPCPUs == 0 {
-		return 0
-	}
-	return float64(h.FreePCPUs) / float64(h.TotalPCPUs)
-}
-
-// ResoHeadroom scores hosts by how much economic room is left: half from
-// the uncommitted uplink fraction (profiled send rates vs capacity), half
-// from the mean remaining Reso balance of resident VMs. A host whose VMs
-// are burning their allocations flat is a bad landing spot even if PCPUs
-// are free.
-type ResoHeadroom struct{}
-
-// Name implements ScorePlugin.
-func (ResoHeadroom) Name() string { return "reso-headroom" }
-
-// Score implements ScorePlugin.
-func (ResoHeadroom) Score(h *HostInfo, _ Spec) float64 {
-	free := 1 - h.IOCommitted
-	if free < 0 {
-		free = 0
-	}
-	// Accounts can run above their allocation (idle VMs earn); clamp so a
-	// freshly placed, still-ramping VM can't make its host look better
-	// than an empty one.
-	hr := h.ResoHeadroom
-	if hr > 1 {
-		hr = 1
-	}
-	return 0.5*free + 0.5*hr
-}
-
-// InterferenceAware penalizes the colocations the paper shows are fatal:
-// a latency-sensitive VM next to a large-buffer bursty sender. Resident
-// pressure is IBMon-profiled (MTUs/s at a large inferred buffer size);
-// arriving large-buffer VMs are recognized by their spec. Scores decay
-// smoothly with pressure so two interferers on one host is judged worse
-// than one, but any interferer-free host beats every contaminated one.
-type InterferenceAware struct {
-	// LargeBuffer is the buffer size from which a VM counts as a bulk
-	// interferer. Default 256 KB (between the paper's harmless 64 KB and
-	// fatal 1–4 MB classes).
-	LargeBuffer int
-	// StaticPenalty is charged per risky colocation regardless of current
-	// traffic — a quiet bulk VM can burst any time. Default 1.
-	StaticPenalty float64
-}
-
-// Name implements ScorePlugin.
-func (ia InterferenceAware) Name() string { return "interference-aware" }
-
-// Score implements ScorePlugin.
-func (ia InterferenceAware) Score(h *HostInfo, s Spec) float64 {
-	large := ia.LargeBuffer
-	if large <= 0 {
-		large = 256 << 10
-	}
-	static := ia.StaticPenalty
-	if static <= 0 {
-		static = 1
-	}
-	penalty := 0.0
-	if s.LatencySensitive {
-		// Placing a latency-sensitive VM: every resident bulk sender hurts,
-		// proportionally to its profiled wire pressure (MTUs/s × buffer,
-		// i.e. bytes/s) relative to the uplink.
-		for _, vm := range h.VMs {
-			if vm.EffectiveBuffer() >= large {
-				penalty += static
-				if h.LinkBytesPerSec > 0 {
-					penalty += vm.BytesPerSec / h.LinkBytesPerSec
-				}
-			}
-		}
-	} else if s.BufferSize >= large {
-		// Placing a bulk VM: penalize hosts running latency-sensitive VMs.
-		for _, vm := range h.VMs {
-			if vm.Spec.LatencySensitive {
-				penalty += static
-			}
-		}
-	}
-	return 1 / (1 + penalty)
-}
+// NewInterferencePipeline is the full scheduler: capacity and health
+// filters, then interference avoidance dominating, with Reso headroom and
+// CPU spreading as tie-breakers.
+func NewInterferencePipeline() *Pipeline { return schedshard.NewInterferencePipeline() }
 
 // ---------------------------------------------------------------------------
 // Strategies.
@@ -363,25 +134,4 @@ func (RandomStrategy) Pick(hosts []*HostInfo, s Spec, rng *sim.Rand) (*HostInfo,
 		return nil, nil, fmt.Errorf("placement: no feasible host for %q", s.Name)
 	}
 	return feasible[rng.Intn(len(feasible))], nil, nil
-}
-
-// NewSpreadPipeline is the CPU-only spreading scheduler: capacity and
-// health filters plus SpreadByCPU.
-func NewSpreadPipeline() *Pipeline {
-	return NewPipeline().
-		AddFilter(FitsPCPUs{}).
-		AddFilter(HealthyHost{}).
-		AddScorer(SpreadByCPU{}, 1)
-}
-
-// NewInterferencePipeline is the full scheduler: capacity and health
-// filters, then interference avoidance dominating, with Reso headroom and
-// CPU spreading as tie-breakers.
-func NewInterferencePipeline() *Pipeline {
-	return NewPipeline().
-		AddFilter(FitsPCPUs{}).
-		AddFilter(HealthyHost{}).
-		AddScorer(InterferenceAware{}, 1).
-		AddScorer(ResoHeadroom{}, 0.3).
-		AddScorer(SpreadByCPU{}, 0.5)
 }

@@ -162,10 +162,11 @@ func (r *Rebalancer) pass(p *sim.Proc) {
 		return
 	}
 
-	// Score every host as if the mover were not placed yet; migrate only to
-	// a strictly better home — when its current host wins (or ties), moving
-	// would be churn, not improvement.
-	target, _, err := r.pipe.Select(f.buildSnapshot(0, mover), mover.Spec)
+	// Score every host as if the mover were not placed yet (the store's
+	// refreshed snapshot with the mover elided); migrate only to a strictly
+	// better home — when its current host wins (or ties), moving would be
+	// churn, not improvement.
+	target, _, err := r.pipe.Select(f.whatIf(mover), mover.Spec)
 	if err != nil {
 		f.Log.Add(f.TB.Eng.Now(), "rebalance", "%s needs to move off node%d but %v",
 			mover.Spec.Name, src.Node, err)

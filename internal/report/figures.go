@@ -239,6 +239,21 @@ func RenderSVG(res experiments.Result) (string, error) {
 			"lat SLO attainment (%) / bulk goodput (10 MB/s)", groups,
 			[]string{"lat SLO %", "bulk 10MB/s"}, vals), nil
 
+	case *experiments.AblShardSchedResult:
+		byMode := map[string]*stats.Series{}
+		var order []*stats.Series
+		for _, row := range r.Rows {
+			s := byMode[row.Mode]
+			if s == nil {
+				s = stats.NewSeries(row.Mode)
+				byMode[row.Mode] = s
+				order = append(order, s)
+			}
+			s.Add(float64(row.Shards), row.ConflictPct)
+		}
+		return LineChart("Shard: conflict rate vs shard count",
+			"logical shards", "conflict rate (%)", order), nil
+
 	case *experiments.SoftRTResult:
 		groups := make([]string, 0, len(r.Rows))
 		vals := make([][]float64, 0, len(r.Rows))

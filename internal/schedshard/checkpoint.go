@@ -1,0 +1,52 @@
+package schedshard
+
+import "fmt"
+
+// State is the scheduler's deterministic state export: store and round
+// counters, the queue of keys still awaiting placement, and a fingerprint
+// of every bind committed so far. Two same-seed runs that agree on this
+// struct (byte-for-byte as canonical JSON) have made identical placement
+// decisions and will continue to — the pending queue, the key counter and
+// the snapshot version pin everything a future round depends on.
+type State struct {
+	// Store-level accounting (shared with any other store writer, e.g. a
+	// fleet committing serial binds through the same store).
+	StoreVersion   uint64 `json:"store_version"`
+	Publishes      uint64 `json:"publishes"`
+	StoreCommits   uint64 `json:"store_commits"`
+	StoreConflicts uint64 `json:"store_conflicts"`
+	// Scheduler-level accounting.
+	Rounds      uint64 `json:"rounds"`
+	Retries     uint64 `json:"retries"`
+	NextKey     uint64 `json:"next_key"`
+	Bound       int    `json:"bound"`
+	FailedCount int    `json:"failed"`
+	// BindingsFNV is the order-sensitive checksum over (key, node) of
+	// every committed bind, hex so the JSON is byte-stable.
+	BindingsFNV string `json:"bindings_fnv"`
+	// Pending lists the keys queued for the next round, ascending.
+	Pending []uint64 `json:"pending,omitempty"`
+	// Shards carries the per-shard lifetime counters, in shard order.
+	Shards []ShardCounters `json:"shards,omitempty"`
+}
+
+// Checkpoint exports the scheduler's current state. Pure observer.
+func (s *Scheduler) Checkpoint() State {
+	st := State{
+		StoreVersion:   s.store.Version(),
+		Publishes:      s.store.Publishes(),
+		StoreCommits:   s.store.Commits(),
+		StoreConflicts: s.store.Conflicts(),
+		Rounds:         s.rounds,
+		Retries:        s.retries,
+		NextKey:        s.nextKey,
+		Bound:          len(s.bound),
+		FailedCount:    len(s.failed),
+		BindingsFNV:    fmt.Sprintf("%016x", s.BindFNV()),
+		Shards:         s.Shards(),
+	}
+	for _, p := range s.pending {
+		st.Pending = append(st.Pending, p.Key)
+	}
+	return st
+}

@@ -1,0 +1,286 @@
+package schedshard
+
+import "fmt"
+
+// FilterPlugin rules hosts in or out for a spec.
+type FilterPlugin interface {
+	Name() string
+	Filter(h *HostInfo, s Spec) bool
+}
+
+// ScorePlugin ranks a feasible host for a spec in [0, 1] (higher = better).
+type ScorePlugin interface {
+	Name() string
+	Score(h *HostInfo, s Spec) float64
+}
+
+// weightedScorer pairs a scorer with its weight in the pipeline sum.
+type weightedScorer struct {
+	plugin ScorePlugin
+	weight float64
+}
+
+// Pipeline is the filter → score → bind decision chain.
+//
+// A Pipeline owns a reusable score-trace scratch buffer, so Select on a
+// warmed-up pipeline allocates nothing: the returned trace is valid only
+// until the next Select call. One pipeline therefore serves one goroutine;
+// give each shard its own (Config.NewPipeline).
+type Pipeline struct {
+	filters []FilterPlugin
+	scorers []weightedScorer
+	trace   []HostScore // reused across Select calls
+}
+
+// NewPipeline creates an empty pipeline; compose it with AddFilter and
+// AddScorer.
+func NewPipeline() *Pipeline { return &Pipeline{} }
+
+// AddFilter appends a filter plugin.
+func (p *Pipeline) AddFilter(f FilterPlugin) *Pipeline {
+	p.filters = append(p.filters, f)
+	return p
+}
+
+// AddScorer appends a score plugin with the given weight.
+func (p *Pipeline) AddScorer(s ScorePlugin, weight float64) *Pipeline {
+	p.scorers = append(p.scorers, weightedScorer{s, weight})
+	return p
+}
+
+// HostScore is one host's pipeline outcome, kept for decision logging.
+type HostScore struct {
+	Node     int
+	Feasible bool
+	Score    float64
+}
+
+// Select runs the pipeline over the host snapshots: hosts failing any
+// filter are out; the rest are scored by the weighted sum of all scorers;
+// the best score wins, ties broken by lowest node id (deterministic).
+// The returned trace covers every candidate, sorted by node id; it aliases
+// the pipeline's scratch buffer and is overwritten by the next Select.
+func (p *Pipeline) Select(hosts []*HostInfo, s Spec) (*HostInfo, []HostScore, error) {
+	var best *HostInfo
+	bestScore := 0.0
+	if cap(p.trace) < len(hosts) {
+		p.trace = make([]HostScore, 0, len(hosts))
+	}
+	trace := p.trace[:0]
+	for _, h := range hosts {
+		hs := HostScore{Node: h.Node, Feasible: true}
+		for _, f := range p.filters {
+			if !f.Filter(h, s) {
+				hs.Feasible = false
+				break
+			}
+		}
+		if hs.Feasible {
+			for _, ws := range p.scorers {
+				hs.Score += ws.weight * ws.plugin.Score(h, s)
+			}
+			if best == nil || hs.Score > bestScore ||
+				(hs.Score == bestScore && h.Node < best.Node) {
+				best, bestScore = h, hs.Score
+			}
+		}
+		trace = append(trace, hs)
+	}
+	// Insertion sort by node id: snapshot hosts are already Node-sorted, so
+	// this is a single linear pass in the common case — and unlike
+	// sort.Slice it allocates nothing (no closure, no reflect swapper).
+	for i := 1; i < len(trace); i++ {
+		hs := trace[i]
+		j := i - 1
+		for j >= 0 && trace[j].Node > hs.Node {
+			trace[j+1] = trace[j]
+			j--
+		}
+		trace[j+1] = hs
+	}
+	p.trace = trace
+	if best == nil {
+		return nil, trace, fmt.Errorf("placement: no feasible host for %q", s.Name)
+	}
+	return best, trace, nil
+}
+
+// Pick is the shard-side hot path: same filter → score decision as Select,
+// but it returns the winner's index into hosts, keeps no trace, and breaks
+// score ties by *rotated* index order — candidate i ranks as (i-off) mod
+// len(hosts), lowest rank wins. With off = 0 over a Node-sorted host list
+// this is exactly Select's lowest-node tie-break; a per-shard offset makes
+// equal-scoring shards start their tie-break at different points of the
+// host ring, which is the smart-conflict-avoidance trick: identical
+// pipelines stop all herding onto the same host when scores tie. Allocates
+// nothing. Returns -1 when no host is feasible.
+func (p *Pipeline) Pick(hosts []*HostInfo, s Spec, off int) int {
+	n := len(hosts)
+	best := -1
+	bestScore := 0.0
+	bestRank := 0
+	for i, h := range hosts {
+		feasible := true
+		for _, f := range p.filters {
+			if !f.Filter(h, s) {
+				feasible = false
+				break
+			}
+		}
+		if !feasible {
+			continue
+		}
+		score := 0.0
+		for _, ws := range p.scorers {
+			score += ws.weight * ws.plugin.Score(h, s)
+		}
+		rank := i - off
+		if rank < 0 {
+			rank += n
+		}
+		if best < 0 || score > bestScore || (score == bestScore && rank < bestRank) {
+			best, bestScore, bestRank = i, score, rank
+		}
+	}
+	return best
+}
+
+// ---------------------------------------------------------------------------
+// Built-in plugins.
+// ---------------------------------------------------------------------------
+
+// FitsPCPUs is the capacity filter: a guest needs a dedicated PCPU.
+type FitsPCPUs struct{}
+
+// Name implements FilterPlugin.
+func (FitsPCPUs) Name() string { return "fits-pcpus" }
+
+// Filter implements FilterPlugin.
+func (FitsPCPUs) Filter(h *HostInfo, _ Spec) bool { return h.FreePCPUs > 0 }
+
+// HealthyHost filters out quarantined hosts: binding a VM to a host that
+// cannot be observed means ResEx would manage it blind from the first
+// interval. Degraded hosts stay schedulable (their stale profiles just score
+// worse).
+type HealthyHost struct{}
+
+// Name implements FilterPlugin.
+func (HealthyHost) Name() string { return "healthy-host" }
+
+// Filter implements FilterPlugin.
+func (HealthyHost) Filter(h *HostInfo, _ Spec) bool { return h.Health != HealthQuarantined }
+
+// SpreadByCPU scores hosts by free PCPU fraction: the classic
+// least-allocated spreading any CPU-only scheduler does.
+type SpreadByCPU struct{}
+
+// Name implements ScorePlugin.
+func (SpreadByCPU) Name() string { return "spread-by-cpu" }
+
+// Score implements ScorePlugin.
+func (SpreadByCPU) Score(h *HostInfo, _ Spec) float64 {
+	if h.TotalPCPUs == 0 {
+		return 0
+	}
+	return float64(h.FreePCPUs) / float64(h.TotalPCPUs)
+}
+
+// ResoHeadroom scores hosts by how much economic room is left: half
+// from the uncommitted uplink fraction (profiled send rates vs capacity),
+// half from the mean remaining Reso balance of resident VMs. A host whose
+// VMs are burning their allocations flat is a bad landing spot even if
+// PCPUs are free.
+type ResoHeadroom struct{}
+
+// Name implements ScorePlugin.
+func (ResoHeadroom) Name() string { return "reso-headroom" }
+
+// Score implements ScorePlugin.
+func (ResoHeadroom) Score(h *HostInfo, _ Spec) float64 {
+	free := 1 - h.IOCommitted
+	if free < 0 {
+		free = 0
+	}
+	// Accounts can run above their allocation (idle VMs earn); clamp so a
+	// freshly placed, still-ramping VM can't make its host look better
+	// than an empty one.
+	hr := h.ResoHeadroom
+	if hr > 1 {
+		hr = 1
+	}
+	return 0.5*free + 0.5*hr
+}
+
+// InterferenceAware penalizes the colocations the paper shows are fatal:
+// a latency-sensitive VM next to a large-buffer bursty sender. Resident
+// pressure is IBMon-profiled (MTUs/s at a large inferred buffer size);
+// arriving large-buffer VMs are recognized by their spec. Scores decay
+// smoothly with pressure so two interferers on one host is judged worse
+// than one, but any interferer-free host beats every contaminated one.
+type InterferenceAware struct {
+	// LargeBuffer is the buffer size from which a VM counts as a bulk
+	// interferer. Default 256 KB (between the paper's harmless 64 KB and
+	// fatal 1–4 MB classes).
+	LargeBuffer int
+	// StaticPenalty is charged per risky colocation regardless of current
+	// traffic — a quiet bulk VM can burst any time. Default 1.
+	StaticPenalty float64
+}
+
+// Name implements ScorePlugin.
+func (ia InterferenceAware) Name() string { return "interference-aware" }
+
+// Score implements ScorePlugin.
+func (ia InterferenceAware) Score(h *HostInfo, s Spec) float64 {
+	large := ia.LargeBuffer
+	if large <= 0 {
+		large = 256 << 10
+	}
+	static := ia.StaticPenalty
+	if static <= 0 {
+		static = 1
+	}
+	penalty := 0.0
+	if s.LatencySensitive {
+		// Placing a latency-sensitive VM: every resident bulk sender hurts,
+		// proportionally to its profiled wire pressure (MTUs/s × buffer,
+		// i.e. bytes/s) relative to the uplink.
+		for _, vm := range h.VMs {
+			if vm.EffectiveBuffer() >= large {
+				penalty += static
+				if h.LinkBytesPerSec > 0 {
+					penalty += vm.BytesPerSec / h.LinkBytesPerSec
+				}
+			}
+		}
+	} else if s.BufferSize >= large {
+		// Placing a bulk VM: penalize hosts running latency-sensitive VMs.
+		for _, vm := range h.VMs {
+			if vm.Spec.LatencySensitive {
+				penalty += static
+			}
+		}
+	}
+	return 1 / (1 + penalty)
+}
+
+// NewSpreadPipeline is the CPU-only spreading scheduler: capacity and
+// health filters plus SpreadByCPU.
+func NewSpreadPipeline() *Pipeline {
+	return NewPipeline().
+		AddFilter(FitsPCPUs{}).
+		AddFilter(HealthyHost{}).
+		AddScorer(SpreadByCPU{}, 1)
+}
+
+// NewInterferencePipeline is the full scheduler: capacity and health
+// filters, then interference avoidance dominating, with Reso headroom and
+// CPU spreading as tie-breakers.
+func NewInterferencePipeline() *Pipeline {
+	return NewPipeline().
+		AddFilter(FitsPCPUs{}).
+		AddFilter(HealthyHost{}).
+		AddScorer(InterferenceAware{}, 1).
+		AddScorer(ResoHeadroom{}, 0.3).
+		AddScorer(SpreadByCPU{}, 0.5)
+}

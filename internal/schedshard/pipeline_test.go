@@ -1,0 +1,93 @@
+package schedshard
+
+import "testing"
+
+func contaminatedFleet() []*HostInfo {
+	hosts := testHosts(8, 8)
+	// Host 1 carries a bulk interferer; host 3 a latency-sensitive tenant.
+	bulkSpec := Spec{Name: "bulk0", BufferSize: 2 << 20}
+	hosts[0].VMs = []VMInfo{{Spec: bulkSpec, BytesPerSec: 60e6, BufferSize: 2 << 20}}
+	hosts[0].FreePCPUs--
+	hosts[0].IOCommitted = 60e6 / 1e9
+	hosts[2].VMs = []VMInfo{lsVM("ls0", 2e6)}
+	hosts[2].FreePCPUs--
+	hosts[2].IOCommitted = 2e6 / 1e9
+	return hosts
+}
+
+// TestSelectZeroAllocHotPath is the zero-alloc contract on the warmed
+// pipeline: Select reuses its trace scratch, so steady-state placement
+// decisions allocate nothing.
+func TestSelectZeroAllocHotPath(t *testing.T) {
+	pipe := NewInterferencePipeline()
+	hosts := contaminatedFleet()
+	spec := Spec{Name: "probe", LatencySensitive: true, BufferSize: 64 << 10}
+	if _, _, err := pipe.Select(hosts, spec); err != nil { // warm the scratch
+		t.Fatal(err)
+	}
+	if allocs := testing.AllocsPerRun(100, func() {
+		if _, _, err := pipe.Select(hosts, spec); err != nil {
+			t.Error(err)
+		}
+	}); allocs != 0 {
+		t.Errorf("warmed Select allocates %.1f times per call, want 0", allocs)
+	}
+}
+
+// TestPickZeroAlloc: the shard hot path must allocate nothing from the
+// first call (it keeps no trace at all).
+func TestPickZeroAlloc(t *testing.T) {
+	pipe := NewInterferencePipeline()
+	hosts := contaminatedFleet()
+	spec := Spec{Name: "probe", LatencySensitive: true, BufferSize: 64 << 10}
+	if allocs := testing.AllocsPerRun(100, func() {
+		if pipe.Pick(hosts, spec, 3) < 0 {
+			t.Error("no feasible host")
+		}
+	}); allocs != 0 {
+		t.Errorf("Pick allocates %.1f times per call, want 0", allocs)
+	}
+}
+
+// TestPickMatchesSelectAtZeroOffset: with off = 0 over a Node-sorted list,
+// Pick must agree with Select exactly — same winner, including tie-breaks.
+func TestPickMatchesSelectAtZeroOffset(t *testing.T) {
+	pipe := NewInterferencePipeline()
+	hosts := contaminatedFleet()
+	specs := []Spec{
+		{Name: "ls", LatencySensitive: true, BufferSize: 64 << 10},
+		{Name: "bulk", BufferSize: 2 << 20},
+	}
+	for _, spec := range specs {
+		best, _, err := pipe.Select(hosts, spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		idx := pipe.Pick(hosts, spec, 0)
+		if idx < 0 || hosts[idx].Node != best.Node {
+			t.Errorf("spec %q: Pick -> node%d, Select -> node%d", spec.Name, hosts[idx].Node, best.Node)
+		}
+	}
+}
+
+// TestPickRotatedTieBreak: on an all-equal fleet every host ties, so the
+// winner is exactly the rotation start — distinct offsets yield distinct
+// hosts, which is the conflict-avoidance mechanism.
+func TestPickRotatedTieBreak(t *testing.T) {
+	pipe := NewSpreadPipeline()
+	hosts := testHosts(8, 4)
+	spec := Spec{Name: "probe", LatencySensitive: true, BufferSize: 64 << 10}
+	for off := 0; off < len(hosts); off++ {
+		idx := pipe.Pick(hosts, spec, off)
+		if idx != off {
+			t.Errorf("off=%d picked index %d, want %d (rotation start)", off, idx, off)
+		}
+	}
+	// Infeasible everywhere -> -1.
+	for _, h := range hosts {
+		h.FreePCPUs = 0
+	}
+	if idx := pipe.Pick(hosts, spec, 3); idx != -1 {
+		t.Errorf("exhausted fleet picked index %d, want -1", idx)
+	}
+}

@@ -1,0 +1,420 @@
+package schedshard
+
+import "sync"
+
+// Config parameterizes a Scheduler.
+type Config struct {
+	// Shards is the number of logical placement shards the pending queue is
+	// partitioned into. This is a semantic parameter: it changes which
+	// pipeline instance sees which VM and therefore how often shards
+	// collide at commit (the conflict-rate-vs-shard-count curve in
+	// abl-shardsched). Default 1 — the serial scheduler, zero conflicts.
+	Shards int
+	// Workers bounds the goroutines that execute one round's shards.
+	// Purely a wall-clock knob, exactly like experiments.Options.Parallel:
+	// shard work, proposal order and the commit merge are all keyed on the
+	// partition, never on goroutine interleaving, so output is
+	// byte-identical at any width. Default 1.
+	Workers int
+	// Seed drives the splitmix64 key→shard partition hash.
+	Seed int64
+	// NewPipeline builds one shard's private pipeline (pipelines carry
+	// scratch buffers and must not be shared across goroutines). Default
+	// NewInterferencePipeline.
+	NewPipeline func() *Pipeline
+	// AvoidConflicts rotates each shard's score-tie-break start around the
+	// host ring (shard i of S starts at host i·len/S) — the smart conflict
+	// avoidance of the arktos design. Off, every shard breaks ties toward
+	// the lowest node and equal-scoring shards herd onto the same host.
+	AvoidConflicts bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.Shards <= 0 {
+		c.Shards = 1
+	}
+	if c.Workers <= 0 {
+		c.Workers = 1
+	}
+	if c.Workers > c.Shards {
+		c.Workers = c.Shards
+	}
+	if c.NewPipeline == nil {
+		c.NewPipeline = NewInterferencePipeline
+	}
+	return c
+}
+
+// Pending is one placement request waiting for a round: the VM's spec plus
+// the VMInfo its bind will install. Key is assigned at Enqueue and is the
+// request's canonical identity for partitioning and merge order.
+type Pending struct {
+	Key  uint64
+	Spec Spec
+	VM   VMInfo
+}
+
+// ShardCounters is one logical shard's lifetime accounting.
+type ShardCounters struct {
+	Shard      int    `json:"shard"`
+	Proposed   uint64 `json:"proposed"`
+	Committed  uint64 `json:"committed"`
+	Conflicted uint64 `json:"conflicted"`
+	Starved    uint64 `json:"starved"`
+}
+
+// RoundStats summarizes one Round call.
+type RoundStats struct {
+	Round      uint64
+	Proposed   int
+	Committed  int
+	Conflicted int
+	Starved    int
+	// Pending is what remains queued after the round (conflict losers and
+	// starved requests that will retry).
+	Pending int
+	// Failed is how many requests the round declared unplaceable (only
+	// when a whole round commits nothing).
+	Failed int
+}
+
+// lane is one logical shard's private working state. Everything here is
+// touched by exactly one goroutine per round; the barrier between the
+// propose phase and the merge phase is the only synchronization.
+type lane struct {
+	pipe    *Pipeline
+	view    []HostInfo  // snapshot copy the shard claims against
+	ptrs    []*HostInfo // pointers into view, what the pipeline scores
+	work    []Pending   // this round's partition slice (reused)
+	props   []Bind      // this round's proposals (reused)
+	starved []Pending   // this round's infeasible requests (reused)
+	stats   ShardCounters
+}
+
+// Scheduler runs the optimistic multi-shard placement loop against a
+// Store. Call Enqueue for every arriving VM, then Round once per scheduling
+// tick (or Run to drain). Scheduler is not safe for concurrent use; the
+// concurrency is *inside* Round, bounded by Config.Workers.
+type Scheduler struct {
+	cfg   Config
+	store *Store
+	lanes []*lane
+
+	pending []Pending // sorted by ascending key, the canonical queue order
+	nextBuf []Pending // double buffer for the post-merge requeue
+	merge   []Bind    // reused merge buffer
+
+	nextKey uint64
+	rounds  uint64
+	retries uint64
+	bound   []Bind
+	failed  []Pending
+}
+
+// NewScheduler builds a scheduler over the given store.
+func NewScheduler(store *Store, cfg Config) *Scheduler {
+	cfg = cfg.withDefaults()
+	s := &Scheduler{cfg: cfg, store: store}
+	for i := 0; i < cfg.Shards; i++ {
+		s.lanes = append(s.lanes, &lane{pipe: cfg.NewPipeline(), stats: ShardCounters{Shard: i}})
+	}
+	return s
+}
+
+// Config returns the effective configuration.
+func (s *Scheduler) Config() Config { return s.cfg }
+
+// Store returns the scheduler's backing store.
+func (s *Scheduler) Store() *Store { return s.store }
+
+// Enqueue queues one placement request and returns its key. Keys are
+// assigned in arrival order and never reused, so the pending queue stays
+// key-sorted by construction: retries re-enter with their original (older,
+// smaller) keys before any new arrival's.
+func (s *Scheduler) Enqueue(spec Spec, vm VMInfo) uint64 {
+	s.nextKey++
+	vm.Spec = spec
+	s.pending = append(s.pending, Pending{Key: s.nextKey, Spec: spec, VM: vm})
+	return s.nextKey
+}
+
+// splitmix64 is the finalizer experiments.DeriveSeed uses; here it maps a
+// (seed, key) pair onto a shard uniformly.
+func splitmix64(z uint64) uint64 {
+	z ^= z >> 30
+	z *= 0xbf58476d1ce4e5b9
+	z ^= z >> 27
+	z *= 0x94d049bb133111eb
+	z ^= z >> 31
+	return z
+}
+
+// shardOf partitions a key. Depends only on (Seed, Shards, key): the same
+// request lands on the same shard every round, on every run, at any worker
+// count.
+func (s *Scheduler) shardOf(key uint64) int {
+	z := splitmix64(uint64(s.cfg.Seed) + 0x9e3779b97f4a7c15*key)
+	return int(z % uint64(s.cfg.Shards))
+}
+
+// Round runs one propose→merge→commit cycle over the current pending
+// queue:
+//
+//  1. snapshot: every shard gets the same immutable store view;
+//  2. partition: pending requests split across shards by the seeded hash,
+//     each shard's slice in ascending key order;
+//  3. propose (concurrent, ≤ Workers goroutines): each shard copies the
+//     snapshot's host values into its private view, then for each of its
+//     requests runs the pipeline and claims the winner locally (FreePCPUs,
+//     IOCommitted) so its own later picks see its earlier ones. Shards do
+//     not see each other's claims — that blindness is what optimistic
+//     concurrency trades for lock-freedom;
+//  4. merge + commit (single goroutine): all proposals ordered by
+//     ascending key — the canonical merge order, independent of shard and
+//     goroutine timing — and applied through Store.CommitRound. Binds that
+//     lost the race for headroom come back as conflicts and requeue, to
+//     retry next round against the refreshed snapshot.
+//
+// A round that proposes or commits nothing while requests remain declares
+// them failed (the fleet is genuinely out of feasible headroom for them;
+// retrying forever would livelock the caller's drain loop).
+func (s *Scheduler) Round() RoundStats {
+	if len(s.pending) == 0 {
+		return RoundStats{}
+	}
+	s.rounds++
+	rs := RoundStats{Round: s.rounds}
+	snap := s.store.Snapshot()
+
+	// Partition. Lane work slices are reused round over round.
+	for _, ln := range s.lanes {
+		ln.work = ln.work[:0]
+		ln.props = ln.props[:0]
+		ln.starved = ln.starved[:0]
+	}
+	for _, p := range s.pending {
+		ln := s.lanes[s.shardOf(p.Key)]
+		ln.work = append(ln.work, p)
+	}
+
+	// Propose, shards in parallel up to Workers.
+	s.propose(snap)
+
+	// Merge in canonical key order and commit.
+	merged := s.merge[:0]
+	for _, ln := range s.lanes {
+		merged = append(merged, ln.props...)
+		rs.Proposed += len(ln.props)
+		rs.Starved += len(ln.starved)
+	}
+	s.merge = merged
+	committed, conflicted := s.store.CommitRound(merged)
+	rs.Committed, rs.Conflicted = len(committed), len(conflicted)
+	s.bound = append(s.bound, committed...)
+	for _, b := range committed {
+		s.lanes[s.shardOf(b.Key)].stats.Committed++
+	}
+	for _, b := range conflicted {
+		s.lanes[s.shardOf(b.Key)].stats.Conflicted++
+	}
+
+	// Requeue: conflict losers (looked up by key in the still-intact
+	// pending queue) and starved requests, back in ascending key order.
+	next := s.nextBuf[:0]
+	for _, b := range conflicted {
+		if p, ok := s.pendingByKey(b.Key); ok {
+			next = append(next, p)
+		}
+	}
+	for _, ln := range s.lanes {
+		next = append(next, ln.starved...)
+	}
+	sortPending(next)
+	if rs.Committed == 0 {
+		// Nothing landed: the snapshot cannot have changed (the store only
+		// advances on commits between rounds), so the next round would be
+		// identical. Declare the remainder unplaceable. (A conflict with
+		// zero commits is impossible — a bind only loses headroom to an
+		// earlier-keyed bind that won it.)
+		rs.Failed = len(next)
+		s.failed = append(s.failed, next...)
+		next = next[:0]
+	}
+	s.retries += uint64(len(next))
+	s.nextBuf = s.pending[:0]
+	s.pending = next
+	rs.Pending = len(next)
+	return rs
+}
+
+// propose runs every lane's propose step, serially or on a bounded worker
+// pool. Lanes are claimed by index from a shared counter (the same
+// work-stealing shape as experiments.RunSweep); each lane's work is
+// self-contained, so interleaving cannot affect its proposals.
+func (s *Scheduler) propose(snap *Snapshot) {
+	workers := s.cfg.Workers
+	if workers <= 1 {
+		for i, ln := range s.lanes {
+			s.runLane(ln, i, snap)
+		}
+		return
+	}
+	var mu sync.Mutex
+	var next int
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				mu.Lock()
+				i := next
+				next++
+				mu.Unlock()
+				if i >= len(s.lanes) {
+					return
+				}
+				s.runLane(s.lanes[i], i, snap)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// runLane executes one shard's propose step: refresh the private view from
+// the snapshot, then pick-and-claim each request in key order.
+func (s *Scheduler) runLane(ln *lane, shardIdx int, snap *Snapshot) {
+	if len(ln.work) == 0 {
+		return
+	}
+	if cap(ln.view) < len(snap.Hosts) {
+		ln.view = make([]HostInfo, len(snap.Hosts))
+		ln.ptrs = make([]*HostInfo, len(snap.Hosts))
+	}
+	ln.view = ln.view[:len(snap.Hosts)]
+	ln.ptrs = ln.ptrs[:len(snap.Hosts)]
+	for i, h := range snap.Hosts {
+		ln.view[i] = *h // VMs slice aliases the snapshot's: read-only by contract
+		ln.ptrs[i] = &ln.view[i]
+	}
+	off := 0
+	if s.cfg.AvoidConflicts && s.cfg.Shards > 1 {
+		off = shardIdx * len(ln.view) / s.cfg.Shards
+	}
+	for _, p := range ln.work {
+		idx := ln.pipe.Pick(ln.ptrs, p.Spec, off)
+		if idx < 0 {
+			ln.stats.Starved++
+			ln.starved = append(ln.starved, p)
+			continue
+		}
+		h := &ln.view[idx]
+		// Claim locally so this shard's later picks see its earlier ones.
+		// The claim adjusts headroom (FreePCPUs, IOCommitted) but not the
+		// resident-VM list — same-round interference between a shard's own
+		// proposals becomes visible only after commit, like every other
+		// shard's. Never mutate h.VMs here: it aliases the shared snapshot.
+		h.FreePCPUs--
+		if h.LinkBytesPerSec > 0 {
+			h.IOCommitted += p.VM.BytesPerSec / h.LinkBytesPerSec
+		}
+		ln.stats.Proposed++
+		ln.props = append(ln.props, Bind{Key: p.Key, Node: h.Node, VM: p.VM})
+	}
+}
+
+// pendingByKey binary-searches the key-sorted pending queue.
+func (s *Scheduler) pendingByKey(key uint64) (Pending, bool) {
+	lo, hi := 0, len(s.pending)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if s.pending[mid].Key < key {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < len(s.pending) && s.pending[lo].Key == key {
+		return s.pending[lo], true
+	}
+	return Pending{}, false
+}
+
+// sortPending insertion-sorts by ascending key (inputs are nearly sorted:
+// a few conflict losers ahead of the starved tail).
+func sortPending(ps []Pending) {
+	for i := 1; i < len(ps); i++ {
+		p := ps[i]
+		j := i - 1
+		for j >= 0 && ps[j].Key > p.Key {
+			ps[j+1] = ps[j]
+			j--
+		}
+		ps[j+1] = p
+	}
+}
+
+// Run drains the pending queue: rounds until nothing is pending. Always
+// terminates — a round that cannot commit anything fails its remainder.
+func (s *Scheduler) Run() {
+	for len(s.pending) > 0 {
+		s.Round()
+	}
+}
+
+// Rounds, Retries, Conflicts: lifetime counters.
+func (s *Scheduler) Rounds() uint64  { return s.rounds }
+func (s *Scheduler) Retries() uint64 { return s.retries }
+
+// Conflicts returns total binds rejected at commit across all rounds.
+func (s *Scheduler) Conflicts() uint64 {
+	var n uint64
+	for _, ln := range s.lanes {
+		n += ln.stats.Conflicted
+	}
+	return n
+}
+
+// PendingLen is the queue depth awaiting the next round.
+func (s *Scheduler) PendingLen() int { return len(s.pending) }
+
+// Bound returns every committed bind in commit order (ascending key within
+// each round, rounds in sequence). Callers must not modify it.
+func (s *Scheduler) Bound() []Bind { return s.bound }
+
+// Failed returns the requests declared unplaceable, in key order per
+// failing round. Callers must not modify it.
+func (s *Scheduler) Failed() []Pending { return s.failed }
+
+// Shards returns a copy of the per-shard lifetime counters.
+func (s *Scheduler) Shards() []ShardCounters {
+	out := make([]ShardCounters, len(s.lanes))
+	for i, ln := range s.lanes {
+		out[i] = ln.stats
+	}
+	return out
+}
+
+// BindFNV folds every committed bind (key, node) into an FNV-1a checksum:
+// a cheap, order-sensitive fingerprint of the whole placement outcome.
+// Equal checksums across shard counts, worker counts and restore paths are
+// what the determinism gates compare.
+func (s *Scheduler) BindFNV() uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	mix := func(v uint64) {
+		for i := 0; i < 8; i++ {
+			h ^= v & 0xff
+			h *= prime64
+			v >>= 8
+		}
+	}
+	for _, b := range s.bound {
+		mix(b.Key)
+		mix(uint64(b.Node))
+	}
+	return h
+}

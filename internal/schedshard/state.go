@@ -1,0 +1,323 @@
+// Package schedshard is the shared-state optimistic multi-shard placement
+// layer: the scale-out answer to internal/placement's serial filter→score
+// pipeline, in the style of the arktos/omega global-scheduler design
+// (SNIPPETS.md §2.5 — shared-state lock-free optimistic scheduling).
+//
+// The package has three parts:
+//
+//   - an immutable cluster-state Snapshot plus a delta-commit Store:
+//     readers get a consistent versioned view for free (it never mutates),
+//     writers commit bind deltas which the store validates against live
+//     headroom, copy-on-write-cloning only the touched hosts;
+//   - a Pipeline — the filter → score plugin chain that used to live in
+//     internal/placement (which now aliases these types) with a zero-alloc
+//     Select hot path and a Pick variant whose tie-break can be rotated per
+//     shard for conflict avoidance;
+//   - a Scheduler that partitions pending placements across N logical
+//     shards by a seeded splitmix64 hash, runs every shard's pipeline
+//     concurrently against the same snapshot, and merges the shards'
+//     proposed binds in canonical key order at commit — conflicts (two
+//     shards binding into the same exhausted host headroom) are detected
+//     there and the losers retry against the refreshed snapshot.
+//
+// Determinism is the contract throughout: partition, proposal and merge
+// order depend only on (seed, shard count, pending keys), never on
+// goroutine interleaving, so output is byte-identical at any worker count.
+package schedshard
+
+import "fmt"
+
+// Spec is what the scheduler knows about a VM *before* it runs: its
+// declared workload class. Resident VMs are additionally described by live
+// IBMon profiles (see VMInfo); an arriving VM only has its spec.
+type Spec struct {
+	Name string
+	// LatencySensitive marks VMs with a latency SLA (the paper's trading
+	// servers); false marks bulk/throughput workloads.
+	LatencySensitive bool
+	// BufferSize is the declared application buffer size in bytes — the
+	// paper's single best predictor of how much damage a VM can do to a
+	// colocated latency-sensitive neighbor.
+	BufferSize int
+}
+
+// VMInfo is the scheduler's view of one VM already resident on a host:
+// spec plus the live signals the host's IBMon and ResEx export.
+type VMInfo struct {
+	Spec Spec
+	// MTUsPerSec/BytesPerSec are the IBMon-profiled send rates.
+	MTUsPerSec  float64
+	BytesPerSec float64
+	// BufferSize is the IBMon-inferred buffer size (may exceed the spec's
+	// declared size; the larger of the two is what scorers should use).
+	BufferSize int
+	// IntfPercent is the VM's latency elevation over its baseline in the
+	// last ResEx epoch, percent.
+	IntfPercent float64
+	// CapPct is the CPU cap the host's policy currently enforces
+	// (100 = uncapped).
+	CapPct float64
+}
+
+// EffectiveBuffer returns the larger of declared and inferred buffer size.
+func (v VMInfo) EffectiveBuffer() int {
+	if v.BufferSize > v.Spec.BufferSize {
+		return v.BufferSize
+	}
+	return v.Spec.BufferSize
+}
+
+// HostHealth classifies a host for scheduling purposes, derived from its
+// IBMon monitor's observability (see placement.Fleet.HostHealth).
+type HostHealth int
+
+// Health states.
+const (
+	// HealthOK: telemetry fully trusted.
+	HealthOK HostHealth = iota
+	// HealthDegraded: telemetry partially stale (remapping targets or low
+	// confidence); still schedulable, but its profiles may lie.
+	HealthDegraded
+	// HealthQuarantined: telemetry blacked out and quarantining enabled —
+	// no new VM binds here until the host can be observed again.
+	HealthQuarantined
+)
+
+// String names the health state.
+func (h HostHealth) String() string {
+	switch h {
+	case HealthOK:
+		return "OK"
+	case HealthDegraded:
+		return "degraded"
+	case HealthQuarantined:
+		return "quarantined"
+	default:
+		return fmt.Sprintf("health(%d)", int(h))
+	}
+}
+
+// HostInfo is one host's state snapshot, the unit filters and scorers
+// operate on.
+type HostInfo struct {
+	Node       int
+	FreePCPUs  int
+	TotalPCPUs int // guest-assignable PCPUs (excludes dom0's)
+	// Health gates schedulability: quarantined hosts fail the HealthyHost
+	// filter every built-in pipeline carries.
+	Health HostHealth
+	// LinkBytesPerSec is the host uplink capacity.
+	LinkBytesPerSec float64
+	// IOCommitted is the fraction of the uplink the resident VMs' profiled
+	// send rates already account for.
+	IOCommitted float64
+	// ResoHeadroom is the mean remaining Reso balance fraction across the
+	// host's managed VMs (1 = untouched allocations, 0 = exhausted).
+	ResoHeadroom float64
+	VMs          []VMInfo
+}
+
+// Snapshot is one immutable, versioned view of the whole fleet. Hosts are
+// sorted by Node. Nothing in this package ever mutates a published
+// snapshot or anything reachable from it — any number of shards may score
+// against it concurrently without coordination.
+type Snapshot struct {
+	Version uint64
+	Hosts   []*HostInfo
+}
+
+// Host returns the snapshot's entry for a node (nil if absent), by binary
+// search over the Node-sorted host list.
+func (s *Snapshot) Host(node int) *HostInfo {
+	lo, hi := 0, len(s.Hosts)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if s.Hosts[mid].Node < node {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < len(s.Hosts) && s.Hosts[lo].Node == node {
+		return s.Hosts[lo]
+	}
+	return nil
+}
+
+// WithoutVM derives the what-if host list the rebalancer scores against: a
+// copy of the snapshot's hosts with one named VM elided from one node, as
+// if it were not running. The elided host is rebuilt exactly the way the
+// fleet builds a skip view — IOCommitted re-summed over the remaining VMs
+// in residence order, one PCPU vacated — so the result is bit-identical to
+// constructing the view with the VM skipped, not merely close after a
+// float subtraction.
+func (s *Snapshot) WithoutVM(node int, name string) []*HostInfo {
+	hosts := make([]*HostInfo, len(s.Hosts))
+	copy(hosts, s.Hosts)
+	for i, h := range hosts {
+		if h.Node != node {
+			continue
+		}
+		clone := *h
+		clone.VMs = make([]VMInfo, 0, len(h.VMs))
+		clone.IOCommitted = 0
+		for _, vm := range h.VMs {
+			if vm.Spec.Name == name {
+				continue
+			}
+			if clone.LinkBytesPerSec > 0 {
+				clone.IOCommitted += vm.BytesPerSec / clone.LinkBytesPerSec
+			}
+			clone.VMs = append(clone.VMs, vm)
+		}
+		if len(clone.VMs) < len(h.VMs) && clone.FreePCPUs < clone.TotalPCPUs {
+			clone.FreePCPUs++ // the elided VM would vacate its PCPU
+		}
+		hosts[i] = &clone
+		break
+	}
+	return hosts
+}
+
+// Bind is one proposed (or committed) placement delta: VM onto Node. Key is
+// the placement's canonical identity — assignment order, monotone across a
+// scheduler's lifetime — and is the only thing commit ordering depends on.
+type Bind struct {
+	Key  uint64
+	Node int
+	VM   VMInfo
+}
+
+// Store holds the current snapshot and applies bind deltas to it. It is
+// the single synchronization point of the design: shards never lock hosts
+// or each other — they read an immutable snapshot and funnel their binds
+// through CommitRound, which applies them one by one in canonical key
+// order, copy-on-write-cloning each touched host at most once per round.
+//
+// Store itself is not safe for concurrent mutation; the Scheduler calls it
+// only from the merge step (a single goroutine), and the fleet calls it
+// from the simulation loop. Concurrent *readers* of a snapshot obtained
+// before a commit are always safe: commits never mutate published state.
+type Store struct {
+	snap      *Snapshot
+	publishes uint64
+	commits   uint64
+	conflicts uint64
+}
+
+// NewStore creates a store holding an empty version-0 snapshot; call
+// Publish to install the first real view.
+func NewStore() *Store {
+	return &Store{snap: &Snapshot{}}
+}
+
+// Snapshot returns the current immutable view. Callers may hold it for as
+// long as they like; it never changes.
+func (st *Store) Snapshot() *Snapshot { return st.snap }
+
+// Version returns the current snapshot version (one per Publish or
+// effective CommitRound).
+func (st *Store) Version() uint64 { return st.snap.Version }
+
+// Commits and Conflicts count binds accepted and rejected at commit over
+// the store's lifetime.
+func (st *Store) Commits() uint64   { return st.commits }
+func (st *Store) Conflicts() uint64 { return st.conflicts }
+
+// Publishes counts full-view installs (vs delta commits).
+func (st *Store) Publishes() uint64 { return st.publishes }
+
+// Publish installs a full rebuilt view as the next snapshot version,
+// sorting hosts by Node (canonical order; stable for already-sorted
+// input). The store takes ownership of the slice and the HostInfo values.
+func (st *Store) Publish(hosts []*HostInfo) *Snapshot {
+	for i := 1; i < len(hosts); i++ { // insertion sort: hosts arrive sorted
+		h := hosts[i]
+		j := i - 1
+		for j >= 0 && hosts[j].Node > h.Node {
+			hosts[j+1] = hosts[j]
+			j--
+		}
+		hosts[j+1] = h
+	}
+	st.publishes++
+	st.snap = &Snapshot{Version: st.snap.Version + 1, Hosts: hosts}
+	return st.snap
+}
+
+// CommitRound applies one round's proposed binds optimistically: binds are
+// ordered by ascending Key (the canonical merge order — independent of
+// which shard proposed what, or when), then validated one by one against
+// the evolving next view. A bind whose target host has no free PCPU left —
+// because earlier-keyed binds exhausted what the proposing shard thought
+// was headroom — is a conflict: it is rejected, counted, and returned for
+// the caller to retry against the refreshed snapshot.
+//
+// Touched hosts are cloned copy-on-write; untouched hosts are shared with
+// the previous snapshot. The previous snapshot itself is never mutated.
+// Both returned slices are in ascending key order.
+func (st *Store) CommitRound(binds []Bind) (committed, conflicted []Bind) {
+	if len(binds) == 0 {
+		return nil, nil
+	}
+	for i := 1; i < len(binds); i++ { // canonical order: ascending key
+		b := binds[i]
+		j := i - 1
+		for j >= 0 && binds[j].Key > b.Key {
+			binds[j+1] = binds[j]
+			j--
+		}
+		binds[j+1] = b
+	}
+	prev := st.snap
+	next := &Snapshot{Version: prev.Version + 1, Hosts: make([]*HostInfo, len(prev.Hosts))}
+	copy(next.Hosts, prev.Hosts)
+	cloned := make(map[int]int, len(binds)) // node -> index of its clone in next.Hosts
+	for _, b := range binds {
+		idx, ok := cloned[b.Node]
+		if !ok {
+			idx = hostIndex(next.Hosts, b.Node)
+			if idx >= 0 {
+				clone := *next.Hosts[idx]
+				clone.VMs = append(make([]VMInfo, 0, len(clone.VMs)+1), clone.VMs...)
+				next.Hosts[idx] = &clone
+				cloned[b.Node] = idx
+			}
+		}
+		if idx < 0 || next.Hosts[idx].FreePCPUs <= 0 ||
+			next.Hosts[idx].Health == HealthQuarantined {
+			st.conflicts++
+			conflicted = append(conflicted, b)
+			continue
+		}
+		h := next.Hosts[idx]
+		h.FreePCPUs--
+		if h.LinkBytesPerSec > 0 {
+			h.IOCommitted += b.VM.BytesPerSec / h.LinkBytesPerSec
+		}
+		h.VMs = append(h.VMs, b.VM)
+		st.commits++
+		committed = append(committed, b)
+	}
+	if len(committed) > 0 {
+		st.snap = next
+	}
+	return committed, conflicted
+}
+
+// hostIndex finds a node in a Node-sorted host slice (-1 if absent).
+func hostIndex(hosts []*HostInfo, node int) int {
+	lo, hi := 0, len(hosts)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if hosts[mid].Node < node {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < len(hosts) && hosts[lo].Node == node {
+		return lo
+	}
+	return -1
+}

@@ -38,7 +38,9 @@ import (
 // Version is the current snapshot format version. Decode rejects any other
 // version: the format carries full state exports whose field sets change
 // with the subsystems, so cross-version restores would verify garbage.
-const Version = 1
+// Version 2: placement.State gained the cluster-state store counters and
+// State gained the schedshard section.
+const Version = 2
 
 // magic opens every snapshot file.
 var magic = []byte("RESEXSNAP\n")

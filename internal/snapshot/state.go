@@ -15,6 +15,7 @@ import (
 	"resex/internal/invariant"
 	"resex/internal/placement"
 	"resex/internal/resex"
+	"resex/internal/schedshard"
 	"resex/internal/sim"
 	"resex/internal/workload"
 	"resex/internal/xen"
@@ -39,6 +40,7 @@ type State struct {
 	Faults   *faults.State           `json:"faults,omitempty"`
 	Workload *workload.State         `json:"workload,omitempty"`
 	Fleet    *placement.State        `json:"fleet,omitempty"`
+	Sched    *schedshard.State       `json:"schedshard,omitempty"`
 	Auditor  *invariant.AuditorState `json:"auditor,omitempty"`
 }
 
@@ -53,6 +55,7 @@ type Source struct {
 	Monitors []*ibmon.Monitor
 	Workload *workload.Engine
 	Fleet    *placement.Fleet
+	Sched    *schedshard.Scheduler
 	Injector *faults.Injector
 	Auditor  *invariant.Auditor
 }
@@ -89,6 +92,10 @@ func (s Source) Capture(eng *sim.Engine) State {
 		ps := s.Fleet.Checkpoint()
 		st.Fleet = &ps
 	}
+	if s.Sched != nil {
+		ss := s.Sched.Checkpoint()
+		st.Sched = &ss
+	}
 	if s.Auditor != nil {
 		as := s.Auditor.Checkpoint()
 		st.Auditor = &as
@@ -114,6 +121,7 @@ func (st State) sections() []struct {
 		{"faults", st.Faults},
 		{"workload", st.Workload},
 		{"fleet", st.Fleet},
+		{"schedshard", st.Sched},
 		{"auditor", st.Auditor},
 	}
 }
