@@ -171,6 +171,10 @@ type benchSweepJSON struct {
 	SerialMs   float64 `json:"serial_ms"`
 	ParallelMs float64 `json:"parallel_ms"`
 	Speedup    float64 `json:"speedup"`
+	// Note flags records whose ratio is not meaningful on the recording
+	// machine (single-core runners). benchgate prints it instead of
+	// silently treating such a sweep as a pass.
+	Note string `json:"note,omitempty"`
 }
 
 // BenchmarkEngineCore measures the zero-alloc event core against the legacy
@@ -226,6 +230,9 @@ func BenchmarkEngineCore(b *testing.B) {
 			SerialMs:   float64(serial.Nanoseconds()) / 1e6,
 			ParallelMs: float64(par.Nanoseconds()) / 1e6,
 			Speedup:    serial.Seconds() / par.Seconds(),
+		}
+		if out.Sweep.CPUs == 1 {
+			out.Sweep.Note = "single-core machine: 4 workers share 1 CPU, ratio reflects goroutine overhead, not sweep scaling"
 		}
 	}
 	b.ReportMetric(out.Current.EventsPerSec, "events/sec")

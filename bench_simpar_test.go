@@ -1,0 +1,113 @@
+package resex
+
+import (
+	"encoding/json"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"resex/internal/experiments"
+	"resex/internal/sim"
+)
+
+// ---------------------------------------------------------------------------
+// BenchmarkSimPar: intra-run parallel simulation, before/after.
+//
+// Baseline: the identical 16-site geo fleet advanced by the sharded
+// coordinator on ONE worker — serial semantics, serial wall-clock; this is
+// what a single-engine run of the same fleet costs.
+//
+// Current: the same fleet, same seed, same shard map, on 8 workers.
+//
+// The determinism contract makes the two runs byte-identical (the recorded
+// fingerprints prove it on every bench run); the only thing the worker
+// axis may change is wall-clock. The speedup is therefore a same-process,
+// same-machine ratio — but unlike the repo's other bench ratios it is NOT
+// machine-independent: with fewer cores than workers there is nothing for
+// the extra workers to stand on. The report records runtime.NumCPU() and
+// cmd/benchgate -kind simpar scales its floor accordingly (full 3x floor
+// at >= 8 CPUs, warn-only at 1 CPU). The fingerprint match is enforced
+// unconditionally on any machine.
+// ---------------------------------------------------------------------------
+
+const (
+	simParBenchSites  = 16
+	simParBenchShards = 8
+	simParBenchSeed   = 7
+)
+
+var simParBenchOpts = experiments.Options{
+	Duration: 120 * sim.Millisecond,
+	Warmup:   30 * sim.Millisecond,
+	Seed:     simParBenchSeed,
+}
+
+// measureSimPar builds and runs the bench fleet at the given worker width,
+// returning wall time and the run's deterministic fingerprint row.
+func measureSimPar(b *testing.B, workers int) (time.Duration, experiments.AblSimParRow) {
+	b.Helper()
+	f, err := experiments.BuildSimParFleet(simParBenchSites, simParBenchShards, workers, simParBenchSeed)
+	if err != nil {
+		b.Fatal(err)
+	}
+	start := time.Now()
+	f.Run(simParBenchOpts)
+	elapsed := time.Since(start)
+	return elapsed, f.Row(simParBenchSites, simParBenchShards)
+}
+
+// benchSimParJSON is the BENCH_simpar.json schema; cmd/benchgate -kind
+// simpar reads it.
+type benchSimParJSON struct {
+	Benchmark string `json:"benchmark"`
+	Sites     int    `json:"sites"`
+	Shards    int    `json:"shards"`
+	Workers   int    `json:"workers"`
+	// CPUs is the machine's core count: the wall-clock ratio can only beat
+	// 1.0 when there are cores for the shard workers to land on.
+	CPUs       int     `json:"cpus"`
+	SerialMs   float64 `json:"serial_ms"`
+	ParallelMs float64 `json:"parallel_ms"`
+	Speedup    float64 `json:"speedup"`
+	// Fingerprints of the serial and parallel runs; FPMatch is the
+	// determinism contract and is gated on every machine regardless of
+	// core count.
+	SerialFP   string `json:"serial_fp"`
+	ParallelFP string `json:"parallel_fp"`
+	FPMatch    bool   `json:"fingerprint_match"`
+}
+
+// BenchmarkSimPar measures the sharded coordinator's worker scaling on the
+// 16-site geo fleet and records BENCH_simpar.json for the CI bench gate.
+func BenchmarkSimPar(b *testing.B) {
+	var out benchSimParJSON
+	for i := 0; i < b.N; i++ {
+		serial, sRow := measureSimPar(b, 1)
+		parallel, pRow := measureSimPar(b, simParBenchShards)
+		if sRow != pRow {
+			b.Fatalf("worker width changed simulation output:\nserial:   %+v\nparallel: %+v", sRow, pRow)
+		}
+		out = benchSimParJSON{
+			Benchmark:  "BenchmarkSimPar",
+			Sites:      simParBenchSites,
+			Shards:     simParBenchShards,
+			Workers:    simParBenchShards,
+			CPUs:       runtime.NumCPU(),
+			SerialMs:   float64(serial.Nanoseconds()) / 1e6,
+			ParallelMs: float64(parallel.Nanoseconds()) / 1e6,
+			Speedup:    serial.Seconds() / parallel.Seconds(),
+			SerialFP:   sRow.FP,
+			ParallelFP: pRow.FP,
+			FPMatch:    sRow.FP == pRow.FP,
+		}
+	}
+	b.ReportMetric(out.Speedup, "simpar_speedup")
+	data, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := os.WriteFile("BENCH_simpar.json", append(data, '\n'), 0o644); err != nil {
+		b.Fatal(err)
+	}
+}

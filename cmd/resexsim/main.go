@@ -128,6 +128,7 @@ func main() {
 		seed       = flag.Int64("seed", 0, "workload seed offset (same seed = byte-identical output)")
 		parallel   = flag.Int("parallel", runtime.GOMAXPROCS(0), "worker pool size for a figure's independent sweep points (output is byte-identical at any value)")
 		shards     = flag.Int("shards", runtime.GOMAXPROCS(0), "worker goroutines per schedshard placement round (output is byte-identical at any value; the logical shard count is the experiment's sweep axis)")
+		simShards  = flag.Int("simshards", 1, "worker goroutines per sharded-simulation window (abl-simpar; output is byte-identical at any value)")
 		audit      = flag.Bool("audit", false, "run the invariant auditor alongside every figure and print its summary (deterministic; cannot change figure output)")
 		snapFile   = flag.String("snapshot", "", "capture every engine's state into this file (requires a single -fig)")
 		snapAt     = flag.Duration("snapshot-at", 0, "virtual capture time for -snapshot, measured from engine start (default warmup + duration/2)")
@@ -147,6 +148,17 @@ func main() {
 	}
 	if *shards < 1 {
 		usageErr("-shards must be >= 1 (got %d)", *shards)
+	}
+	if *simShards < 1 {
+		usageErr("-simshards must be >= 1 (got %d)", *simShards)
+	}
+	if *simShards > runtime.GOMAXPROCS(0) {
+		// Warn, don't refuse: extra window workers beyond the CPUs (or the
+		// fleet's host count, whichever is hit first — the coordinator
+		// clamps workers to its shard count) add scheduling overhead, not
+		// speed. Output is unaffected either way.
+		fmt.Fprintf(os.Stderr, "resexsim: warning: -simshards %d exceeds %d available CPUs; extra workers add overhead, not speed\n",
+			*simShards, runtime.GOMAXPROCS(0))
 	}
 	if *duration <= 0 {
 		usageErr("-duration must be positive (got %v)", *duration)
@@ -229,6 +241,7 @@ func main() {
 		Seed:         *seed,
 		Parallel:     *parallel,
 		ShardWorkers: *shards,
+		SimShards:    *simShards,
 		Checkpoint:   plan,
 	}
 	var index []report.IndexEntry

@@ -272,3 +272,52 @@ func TestServerEndToEnd(t *testing.T) {
 }
 
 func readFileAll(path string) ([]byte, error) { return os.ReadFile(path) }
+
+// TestSimShardsConfig pins the -simshards mirror: the width is a wall-clock
+// knob that rides in the session config (and so in snapshot metadata), it
+// defaults to 1, and two sessions differing only in SimShards produce
+// byte-identical telemetry — quantum boundaries are global barriers, so
+// sharded stepping can never leak into observable state.
+func TestSimShardsConfig(t *testing.T) {
+	if got := (Config{}).withDefaults().SimShards; got != 1 {
+		t.Errorf("default SimShards = %d, want 1", got)
+	}
+
+	cfg := testConfig()
+	serial, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer serial.Shutdown()
+	cfg.SimShards = 4
+	wide, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer wide.Shutdown()
+	for i := 0; i < 3; i++ {
+		serial.Step()
+		wide.Step()
+	}
+	if a, b := telemetryJSON(t, serial), telemetryJSON(t, wide); a != b {
+		t.Fatalf("SimShards=4 changed telemetry:\n%s\nvs\n%s", a, b)
+	}
+
+	// The width travels in snapshot metadata and survives restore.
+	b := wide.Snapshot()
+	var meta Config
+	if err := json.Unmarshal(b.Meta.Config, &meta); err != nil {
+		t.Fatal(err)
+	}
+	if meta.SimShards != 4 {
+		t.Errorf("snapshot config SimShards = %d, want 4", meta.SimShards)
+	}
+	restored, err := Restore(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer restored.Shutdown()
+	if restored.Config().SimShards != 4 {
+		t.Errorf("restored SimShards = %d", restored.Config().SimShards)
+	}
+}

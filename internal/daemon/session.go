@@ -59,6 +59,16 @@ type Config struct {
 	Policy string `json:"policy,omitempty"`
 	// QuantumNs is the virtual step size. Default 100 ms.
 	QuantumNs int64 `json:"quantum_ns,omitempty"`
+	// SimShards is the worker width for sharded simulation (internal/
+	// simpar), mirrored from resexsim's -simshards. It is a wall-clock
+	// knob only — by the simpar determinism contract output is
+	// byte-identical at any width — but it rides in the config (and so in
+	// snapshot metadata) so a session's full generative input is pinned.
+	// Sharded stepping is always safe at the daemon's granularity: quantum
+	// boundaries are global synchronization barriers, every host is
+	// quiescent there, and commands land only on boundaries, so a command
+	// can never observe or perturb a half-advanced window. Default 1.
+	SimShards int `json:"sim_shards,omitempty"`
 	// Tenants are booted before virtual time zero.
 	Tenants []TenantConfig `json:"tenants,omitempty"`
 }
@@ -66,6 +76,9 @@ type Config struct {
 func (c Config) withDefaults() Config {
 	if c.Hosts <= 0 {
 		c.Hosts = 1
+	}
+	if c.SimShards <= 0 {
+		c.SimShards = 1
 	}
 	if c.Policy == "" {
 		c.Policy = "none"

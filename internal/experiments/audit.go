@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"resex/internal/cluster"
+	"resex/internal/ibmon"
 	"resex/internal/invariant"
 	"resex/internal/placement"
 	"resex/internal/resex"
@@ -95,6 +96,43 @@ func (o Options) auditShardSched(eng *sim.Engine, sched *schedshard.Scheduler) f
 		return func() {}
 	}
 	return a.Close
+}
+
+// auditSimPar attaches the pure observers to a sharded geo-fleet run: one
+// invariant auditor per site engine (auditors are engine-local, so each
+// shard worker drives only its own site's observer — no cross-engine state
+// to race on), and one snapshot arm per site. Each site's snapshot source
+// carries its testbed, manager, monitor, auditor, and its simpar host —
+// the shard-invariant coordinator state (send counters, in-flight message
+// keys) that joins the wire format. Arm order is site order, so capture
+// and replay agree on ordinals; the per-site auditors close in site order,
+// so the merged collector summary is deterministic too.
+func (o Options) auditSimPar(f *SimParFleet) func() {
+	var stops []func()
+	for _, s := range f.sites {
+		var a *invariant.Auditor
+		if o.Audit != nil {
+			a = invariant.New(s.tb.Eng, o.Audit)
+			for _, h := range s.tb.Hosts {
+				a.WatchXen(h.HV)
+				a.WatchHCA(h.HCA)
+			}
+			a.WatchManager(s.mgr)
+			stops = append(stops, a.Close)
+		}
+		if o.Checkpoint != nil {
+			o.Checkpoint.Arm(s.tb.Eng, o.PointSeed, &snapshot.Source{
+				TB: s.tb, Managers: []*resex.Manager{s.mgr},
+				Monitors: []*ibmon.Monitor{s.mon},
+				SimPar:   s.h, Auditor: a,
+			})
+		}
+	}
+	return func() {
+		for _, stop := range stops {
+			stop()
+		}
+	}
 }
 
 // auditWorkload is auditTestbed for a multi-tenant workload engine: hosts

@@ -60,6 +60,8 @@ func init() {
 		func(o Options) (Result, error) { return AblRestart(o) })
 	register("abl-shardsched", "Shard: optimistic multi-shard placement, conflict rate vs shard count",
 		func(o Options) (Result, error) { return AblShardSched(o) })
+	register("abl-simpar", "SimPar: host-sharded conservative simulation, determinism across shard counts",
+		func(o Options) (Result, error) { return AblSimPar(o) })
 	register("softrt", "Extension: soft-real-time stream deadline misses",
 		func(o Options) (Result, error) { return SoftRT(o) })
 }

@@ -66,6 +66,14 @@ type Options struct {
 	// order and the commit merge are all canonical, so output is
 	// byte-identical at any width. Default 1.
 	ShardWorkers int
+	// SimShards bounds the worker goroutines a sharded-simulation
+	// coordinator (internal/simpar) uses to run one conservative window's
+	// host shards (resexsim -simshards). The third wall-clock-only knob
+	// alongside Parallel and ShardWorkers: windows, merge order and
+	// message delivery are all canonical, so output — stdout, audit
+	// summaries, snapshot bundles — is byte-identical at any width.
+	// Drivers without a sharded coordinator ignore it. Default 1.
+	SimShards int
 	// Audit, when non-nil, attaches a runtime invariant auditor to every
 	// engine the experiment builds and merges results into this collector.
 	// The auditor is a pure observer: enabling it cannot change any figure
@@ -92,6 +100,9 @@ func (o Options) WithDefaults() Options {
 	}
 	if o.ShardWorkers <= 0 {
 		o.ShardWorkers = 1
+	}
+	if o.SimShards <= 0 {
+		o.SimShards = 1
 	}
 	return o
 }

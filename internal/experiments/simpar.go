@@ -1,0 +1,351 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"resex/internal/benchex"
+	"resex/internal/cluster"
+	"resex/internal/ibmon"
+	"resex/internal/placement"
+	"resex/internal/resex"
+	"resex/internal/sim"
+	"resex/internal/simpar"
+)
+
+// ---------------------------------------------------------------------------
+// abl-simpar: conservative host-sharded simulation of a geo-distributed
+// fleet — the determinism-across-shard-counts table.
+// ---------------------------------------------------------------------------
+
+// SimParBackbone is the inter-site one-way propagation delay, and therefore
+// the sharded run's lookahead: every site simulates a full 200 µs of
+// virtual time per window before synchronizing. The intra-site fabric
+// (100 ns links, 200 ns switch) never constrains the window because it
+// never leaves a site's engine — which is what makes host-sharding pay:
+// a site's Xen ticks, HCA completions and ResEx epochs are thousands of
+// events per window, all shard-local.
+const SimParBackbone = 200 * sim.Microsecond
+
+// simParEpoch is the fleet telemetry period: a global boundary at which
+// the coordinator samples every site's counters into the run fingerprint.
+const simParEpoch = 2 * sim.Millisecond
+
+// simParReplBuffer is the cross-site replication request size.
+const simParReplBuffer = 8 << 10
+
+// AblSimParRow is one (fleet size, shard count) cell. Every column except
+// Shards is byte-identical down a fleet-size group — the shard partition is
+// a wall-clock knob, and this table is the visible proof: windows, message
+// counts, per-site totals and the epoch-sampled fingerprint must not move.
+type AblSimParRow struct {
+	// Sites is the fleet size: geo-distributed sites, each a full host
+	// (Xen + HCA + ResEx + IBMon) on its own engine.
+	Sites int
+	// Shards is the logical shard count the site population is partitioned
+	// into (the -simshards axis; workers are bounded by Options.SimShards).
+	Shards int
+	// Windows and Boundaries are the coordinator's conservative sync
+	// counts; Messages is the cross-site deliveries merged (packets, acks).
+	Windows    uint64
+	Boundaries uint64
+	Messages   uint64
+	// Steps is the fleet-total executed event count.
+	Steps uint64
+	// LocalServed and ReplServed total the intra-site trading requests and
+	// the cross-site replication requests completed in the measured window.
+	LocalServed int64
+	ReplServed  int64
+	// LocalMeanUs is the fleet-mean intra-site request latency (µs).
+	LocalMeanUs float64
+	// FP fingerprints every telemetry epoch's per-site counters (hex
+	// FNV-1a). Equal fingerprints mean the runs agreed at every 2 ms
+	// boundary, not just at the end.
+	FP string
+}
+
+// AblSimParResult is the (fleet size × shard count) grid.
+type AblSimParResult struct {
+	LookaheadUs float64
+	Rows        []AblSimParRow
+}
+
+// Title implements Result.
+func (r *AblSimParResult) Title() string {
+	return "SimPar: host-sharded conservative simulation, determinism across shard counts"
+}
+
+// WriteText implements Result.
+func (r *AblSimParResult) WriteText(w io.Writer) error {
+	fmt.Fprintf(w, "%s (lookahead %.0f µs)\n\n%5s %6s %8s %8s %9s %10s %12s %11s %13s %17s\n",
+		r.Title(), r.LookaheadUs,
+		"sites", "shards", "windows", "bounds", "msgs", "steps",
+		"local_srv", "repl_srv", "local_mean_us", "epoch-fnv")
+	for _, row := range r.Rows {
+		fmt.Fprintf(w, "%5d %6d %8d %8d %9d %10d %12d %11d %13.1f %17s\n",
+			row.Sites, row.Shards, row.Windows, row.Boundaries, row.Messages,
+			row.Steps, row.LocalServed, row.ReplServed, row.LocalMeanUs, row.FP)
+	}
+	return nil
+}
+
+// WriteCSV implements Result.
+func (r *AblSimParResult) WriteCSV(w io.Writer) error {
+	fmt.Fprintln(w, "sites,shards,windows,boundaries,messages,steps,local_served,repl_served,local_mean_us,epoch_fnv")
+	for _, row := range r.Rows {
+		fmt.Fprintf(w, "%d,%d,%d,%d,%d,%d,%d,%d,%g,%s\n",
+			row.Sites, row.Shards, row.Windows, row.Boundaries, row.Messages,
+			row.Steps, row.LocalServed, row.ReplServed, row.LocalMeanUs, row.FP)
+	}
+	return nil
+}
+
+// simParSite is one geo site: a single-host testbed with its own engine,
+// manager and monitor, a local trading app, and its half of two
+// replication streams (serving the previous site, streaming to the next).
+type simParSite struct {
+	tb    *cluster.Testbed
+	host  *cluster.Host
+	h     *simpar.Host
+	mgr   *resex.Manager
+	mon   *ibmon.Monitor
+	local *cluster.App
+	agent *benchex.Agent
+
+	replServer *benchex.Server // serves site (i-1)'s stream
+	replClient *benchex.Client // streams to site (i+1)
+}
+
+// SimParFleet is a built geo-fleet: the coordinator, the backbone, and the
+// per-site rigs. Exported so BenchmarkSimPar can drive the identical
+// scenario it reports on.
+type SimParFleet struct {
+	Co    *simpar.Coordinator
+	Ic    *simpar.Interconnect
+	sites []*simParSite
+
+	epoch uint64
+	fp    uint64
+}
+
+const (
+	fnvOffset = 14695981039346656037
+	fnvPrime  = 1099511628211
+)
+
+// fnvMix folds one 64-bit word into an FNV-1a accumulator, bytewise.
+func fnvMix(h, x uint64) uint64 {
+	for i := 0; i < 8; i++ {
+		h ^= x & 0xff
+		h *= fnvPrime
+		x >>= 8
+	}
+	return h
+}
+
+// BuildSimParFleet assembles sites single-host testbeds in a ring, joined
+// by a 200 µs backbone, partitioned into shards run by at most workers
+// goroutines. Per site: a closed-loop 64 KB local trading app (server and
+// client VMs on the same host, traffic hairpinned through the site
+// switch), a FreeMarket ResEx manager + IBMon over the site's domains, a
+// paced 8 KB replication stream to the next site, and the serving end of
+// the previous site's stream. Seeding depends only on (seed, site), never
+// on the shard axis, so every (sites, shards) cell simulates the identical
+// fleet.
+func BuildSimParFleet(sites, shards, workers int, seed int64) (*SimParFleet, error) {
+	own := placement.NewOwnership(nodesFor(sites), shards)
+	co := simpar.New(simpar.Config{
+		Lookahead: SimParBackbone,
+		Shards:    own.Shards(),
+		Workers:   workers,
+		ShardOf:   own.ShardOf(),
+	})
+	f := &SimParFleet{Co: co, Ic: simpar.NewInterconnect(co, SimParBackbone), fp: fnvOffset}
+
+	for i := 0; i < sites; i++ {
+		node := i + 1
+		tb := cluster.New(cluster.Config{})
+		host := tb.AddHost(node)
+		s := &simParSite{tb: tb, host: host, h: f.Ic.AddSite(tb, host)}
+
+		dom0 := host.Dom0VCPU()
+		s.mon = ibmon.New(host.HV, dom0, ibmon.Config{})
+		s.mgr = resex.New(tb.Eng, host.HV, s.mon, dom0, resex.NewFreeMarket(), resex.Config{})
+
+		local, err := tb.NewApp(fmt.Sprintf("site%d-local", node), host, host,
+			benchex.ServerConfig{BufferSize: BaseBuffer},
+			benchex.ClientConfig{BufferSize: BaseBuffer, Seed: seed + int64(node)*17})
+		if err != nil {
+			return nil, err
+		}
+		s.local = local
+		if _, err := s.mgr.Manage(local.ServerVM.Dom, local.Server.SendCQ(), BaseSLAUs); err != nil {
+			return nil, err
+		}
+		s.agent = benchex.NewAgent(local.Server, local.ServerVM.Dom.ID(), s.mgr, benchex.AgentConfig{})
+		f.sites = append(f.sites, s)
+	}
+
+	// Replication ring: site i streams to site (i+1) mod sites. The VM
+	// pair spans two testbeds, so it is assembled by hand — each end on
+	// its own engine, joined only by QP numbers and the backbone.
+	for i, src := range f.sites {
+		dst := f.sites[(i+1)%sites]
+		sVM := dst.host.NewVM(fmt.Sprintf("site%d-repl-in", dst.host.Node))
+		server := benchex.NewServer(dst.tb.Eng, sVM.VCPU, sVM.PD, benchex.ServerConfig{
+			Name: fmt.Sprintf("site%d-repl-srv", dst.host.Node), BufferSize: simParReplBuffer,
+		})
+		cVM := src.host.NewVM(fmt.Sprintf("site%d-repl-out", src.host.Node))
+		client, err := benchex.NewClient(src.tb.Eng, cVM.VCPU, cVM.PD, benchex.ClientConfig{
+			Name: fmt.Sprintf("site%d-repl-cli", src.host.Node), BufferSize: simParReplBuffer,
+			Window: 4, Interval: 250 * sim.Microsecond, PoissonArrivals: true,
+			Seed: seed + 7919*int64(src.host.Node),
+		})
+		if err != nil {
+			return nil, err
+		}
+		sqp, err := server.NewEndpoint()
+		if err != nil {
+			return nil, err
+		}
+		if err := cluster.ConnectQPs(sqp, client.Endpoint(), dst.host, src.host); err != nil {
+			return nil, err
+		}
+		if _, err := dst.mgr.Manage(sVM.Dom, server.SendCQ(), 0); err != nil {
+			return nil, err
+		}
+		dst.replServer = server
+		src.replClient = client
+	}
+	return f, nil
+}
+
+// nodesFor lists the fleet's node ids (1..n) for the ownership map.
+func nodesFor(n int) []int {
+	nodes := make([]int, n)
+	for i := range nodes {
+		nodes[i] = i + 1
+	}
+	return nodes
+}
+
+// start launches every site's components and arms the global boundaries:
+// the warmup stats reset and the telemetry epoch.
+func (f *SimParFleet) start(o Options) {
+	for _, s := range f.sites {
+		s.local.Start()
+		s.replServer.Start()
+		s.replClient.Start()
+		s.agent.Start()
+		s.mon.Start(s.tb.Eng)
+		s.mgr.Start()
+	}
+	f.Co.At(o.Warmup, func() {
+		for _, s := range f.sites {
+			s.local.Server.ResetStats()
+			s.local.Client.ResetStats()
+			s.replServer.ResetStats()
+			s.replClient.ResetStats()
+		}
+	})
+	f.Co.Every(simParEpoch, func() bool {
+		f.epoch++
+		f.fp = fnvMix(f.fp, f.epoch)
+		for _, s := range f.sites {
+			f.fp = fnvMix(f.fp, uint64(s.local.Server.Stats().Served))
+			f.fp = fnvMix(f.fp, uint64(s.local.Client.Stats().Received))
+			f.fp = fnvMix(f.fp, uint64(s.replServer.Stats().Served))
+		}
+		return true
+	})
+}
+
+// Run drives the fleet through warmup plus the measured window and shuts
+// it down (worker pool included).
+func (f *SimParFleet) Run(o Options) {
+	f.start(o)
+	f.Co.RunUntil(o.Warmup + o.Duration)
+	f.Co.Shutdown()
+}
+
+// Row extracts the deterministic cell for the result table (exported so
+// BenchmarkSimPar can report the fingerprint of the runs it times).
+func (f *SimParFleet) Row(sites, shards int) AblSimParRow {
+	st := f.Co.Stats()
+	row := AblSimParRow{
+		Sites: sites, Shards: shards,
+		Windows: st.Windows, Boundaries: st.Boundaries, Messages: st.Messages,
+		Steps: f.Co.Steps(),
+	}
+	var lat float64
+	var n int64
+	for _, s := range f.sites {
+		row.LocalServed += s.local.Server.Stats().Served
+		row.ReplServed += s.replServer.Stats().Served
+		cs := s.local.Client.Stats()
+		lat += cs.Latency.Sum()
+		n += cs.Latency.Count()
+	}
+	if n > 0 {
+		row.LocalMeanUs = lat / float64(n)
+	}
+	fp := f.fp
+	fp = fnvMix(fp, uint64(row.LocalServed))
+	fp = fnvMix(fp, uint64(row.ReplServed))
+	fp = fnvMix(fp, row.Messages)
+	row.FP = fmt.Sprintf("%016x", fp)
+	return row
+}
+
+// simParSizes is the fleet-size axis, scaled down for short CI windows
+// (every site is a full simulated host, so the 2 s figure run affords a
+// larger fleet than a 150 ms smoke run).
+func simParSizes(o Options) []int {
+	if o.Duration >= sim.Second {
+		return []int{2, 4, 8, 16}
+	}
+	return []int{2, 4, 8}
+}
+
+// simParShardAxis is the logical shard counts swept for every fleet size.
+var simParShardAxis = []int{1, 2, 4, 8}
+
+// runSimParPoint builds, runs and reads one (sites, shards) cell.
+func runSimParPoint(o Options, sites, shards int) (AblSimParRow, error) {
+	f, err := BuildSimParFleet(sites, shards, o.SimShards, o.Seed)
+	if err != nil {
+		return AblSimParRow{}, err
+	}
+	stop := o.auditSimPar(f)
+	f.start(o)
+	f.Co.RunUntil(o.Warmup + o.Duration)
+	stop()
+	f.Co.Shutdown()
+	return f.Row(sites, shards), nil
+}
+
+// AblSimPar runs the (fleet size × shard count) grid. The shard axis is
+// the point of the experiment: within a fleet-size group every row must be
+// identical except the shards column, because the partition only decides
+// which worker executes which host — never what the hosts compute. The
+// seed feeding each cell depends on the fleet size alone, making the
+// grouped rows directly comparable; the CI determinism gate additionally
+// diffs whole runs at -simshards 1 vs 8.
+func AblSimPar(o Options) (*AblSimParResult, error) {
+	o = o.WithDefaults()
+	var points []SweepPoint[AblSimParRow]
+	for _, sites := range simParSizes(o) {
+		for _, shards := range simParShardAxis {
+			sites, shards := sites, shards
+			points = append(points, Point(fmt.Sprintf("n=%d s=%d", sites, shards),
+				func(o Options) (AblSimParRow, error) {
+					return runSimParPoint(o, sites, shards)
+				}))
+		}
+	}
+	rows, err := RunSweep(o, points)
+	if err != nil {
+		return nil, err
+	}
+	return &AblSimParResult{LookaheadUs: float64(SimParBackbone) / 1e3, Rows: rows}, nil
+}

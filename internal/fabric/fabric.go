@@ -138,6 +138,10 @@ func (l *Link) Name() string { return l.name }
 // Bandwidth returns the link rate in bytes per second.
 func (l *Link) Bandwidth() float64 { return l.bps }
 
+// Propagation returns the link's fixed propagation delay — one term of the
+// fabric's lookahead contract (see Switch.Latency).
+func (l *Link) Propagation() sim.Time { return l.prop }
+
 // Stats returns a snapshot of cumulative link statistics.
 func (l *Link) Stats() LinkStats { return l.stats }
 
@@ -339,15 +343,24 @@ func (l *Link) transmitNext() {
 // are forwarded, after a fixed forwarding latency, onto the egress link of
 // their destination node.
 type Switch struct {
-	eng     *sim.Engine
-	latency sim.Time
-	ports   map[int]*Link
+	eng      *sim.Engine
+	latency  sim.Time
+	ports    map[int]*Link
+	defRoute func(pkt *Packet)
 }
 
 // NewSwitch creates a switch with the given forwarding latency.
 func NewSwitch(eng *sim.Engine, latency sim.Time) *Switch {
 	return &Switch{eng: eng, latency: latency, ports: make(map[int]*Link)}
 }
+
+// Latency returns the fixed forwarding latency. Together with
+// Link.Propagation it defines the fabric's lookahead contract: any packet
+// crossing host boundaries is in flight for at least the sum of its path's
+// propagation delays plus one switch latency, so a sharded run
+// (internal/simpar) may safely simulate that far ahead without hearing
+// from other hosts.
+func (s *Switch) Latency() sim.Time { return s.latency }
 
 // AttachNode connects node's downlink (switch→host egress link).
 func (s *Switch) AttachNode(node int, egress *Link) {
@@ -357,11 +370,22 @@ func (s *Switch) AttachNode(node int, egress *Link) {
 	s.ports[node] = egress
 }
 
+// SetDefaultRoute installs an uplink port: packets for nodes with no
+// attached egress link are handed to f after the forwarding latency,
+// instead of panicking. A sharded interconnect uses this as the site
+// switch's trunk toward hosts that live on other engines.
+func (s *Switch) SetDefaultRoute(f func(pkt *Packet)) { s.defRoute = f }
+
 // Inject receives a packet from a host uplink and forwards it. Unknown
-// destinations panic: the simulated cluster is statically wired.
+// destinations panic unless a default route is installed: the simulated
+// cluster is statically wired.
 func (s *Switch) Inject(pkt *Packet) {
 	egress, ok := s.ports[pkt.DstNode]
 	if !ok {
+		if s.defRoute != nil {
+			s.eng.After(s.latency, func() { s.defRoute(pkt) })
+			return
+		}
 		panic(fmt.Sprintf("fabric: packet for unattached node %d", pkt.DstNode))
 	}
 	s.eng.After(s.latency, func() { egress.Send(pkt) })

@@ -353,3 +353,53 @@ func TestConservationUnderContention(t *testing.T) {
 		}
 	}
 }
+
+func TestSwitchDefaultRoute(t *testing.T) {
+	eng := sim.New()
+	sw := NewSwitch(eng, 100)
+	if sw.Latency() != 100 {
+		t.Errorf("Latency = %d", sw.Latency())
+	}
+	// A statically wired switch still panics on unknown destinations.
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("no panic for unattached node without a default route")
+			}
+		}()
+		sw.Inject(&Packet{DstNode: 9})
+	}()
+
+	var local int
+	sw.AttachNode(1, NewLink(eng, "down", gbps1, 0, RoundRobin, func(p *Packet) { local++ }))
+	var defPkts []*Packet
+	var defAt []sim.Time
+	sw.SetDefaultRoute(func(p *Packet) {
+		defPkts = append(defPkts, p)
+		defAt = append(defAt, eng.Now())
+	})
+	sw.Inject(&Packet{DstNode: 9, SrcNode: 1, Bytes: 64})
+	sw.Inject(&Packet{DstNode: 1, SrcNode: 9, Bytes: 64})
+	eng.Run()
+	// The attached port still routes locally; only the unknown destination
+	// takes the uplink, after exactly the forwarding latency.
+	if local != 1 {
+		t.Errorf("local deliveries = %d, want 1", local)
+	}
+	if len(defPkts) != 1 || defPkts[0].DstNode != 9 {
+		t.Fatalf("default-route packets = %v", defPkts)
+	}
+	if defAt[0] != 100 {
+		t.Errorf("default route fired at %d, want the switch latency 100", defAt[0])
+	}
+	eng.Shutdown()
+}
+
+func TestLinkPropagationAccessor(t *testing.T) {
+	eng := sim.New()
+	l := NewLink(eng, "l", gbps1, 250, RoundRobin, func(p *Packet) {})
+	if l.Propagation() != 250 {
+		t.Errorf("Propagation = %d, want 250", l.Propagation())
+	}
+	eng.Shutdown()
+}

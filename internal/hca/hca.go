@@ -92,10 +92,11 @@ func (c Config) withDefaults() Config {
 
 // HCA is one host channel adapter.
 type HCA struct {
-	eng    *sim.Engine
-	cfg    Config
-	uplink *fabric.Link
-	peer   func(node int) *HCA
+	eng     *sim.Engine
+	cfg     Config
+	uplink  *fabric.Link
+	peer    func(node int) *HCA
+	ackPath func(srcNode int, ack Ack)
 
 	tpt     map[uint32]*MR // by key (lkey == rkey in our simplified TPT)
 	qps     map[uint32]*QP
@@ -147,6 +148,40 @@ func (h *HCA) Uplink() *fabric.Link { return h.uplink }
 // node for ack and read-response bookkeeping (control-plane shortcut; data
 // still flows through the fabric).
 func (h *HCA) SetPeerResolver(f func(node int) *HCA) { h.peer = f }
+
+// Ack is a sender-side RC completion in transit back to the requesting
+// node. It is the one piece of responder→requester signaling that the
+// single-engine wiring short-circuits as a direct peer call; a sharded
+// interconnect turns it into a real cross-host message instead.
+type Ack struct {
+	SrcQPN uint32
+	Op     Opcode
+	Status Status
+	Len    uint32
+	WRID   uint64
+}
+
+// SetAckPath reroutes RC acks destined for *other* nodes through f instead
+// of the direct peer-resolver call. The transport owns the return latency:
+// completeSender hands the ack over immediately (no AckLatency here), and f
+// must arrange for ApplyAck to run on the source node's engine context at a
+// delivery time of its choosing. Acks for QPs on this same node are
+// unaffected. Installing an ack path makes the HCA safe to run with its
+// peers on different engines (internal/simpar), where a direct call into a
+// concurrently running peer would be a data race and a causality violation.
+func (h *HCA) SetAckPath(f func(srcNode int, ack Ack)) { h.ackPath = f }
+
+// ApplyAck completes the send work request an Ack refers to. It must run
+// on this HCA's engine context (the transport's delivery callback). A
+// vanished QP (destroyed while the ack was in flight) drops the ack, same
+// as the direct path.
+func (h *HCA) ApplyAck(a Ack) {
+	qp, ok := h.qps[a.SrcQPN]
+	if !ok {
+		return
+	}
+	qp.completeSend(a.Op, a.Status, a.Len, a.WRID)
+}
 
 // MessagesSent returns the number of messages this HCA put on the wire.
 func (h *HCA) MessagesSent() int64 { return h.msgsSent }

@@ -719,3 +719,49 @@ func TestInterferenceAcrossQPs(t *testing.T) {
 		t.Errorf("interference ratio = %.2f (solo %v, shared %v), want ~2", ratio, solo, shared)
 	}
 }
+
+// TestAckPathRoutesRemoteCompletions: with SetAckPath installed, RC acks
+// for remote senders leave through the transport hook (which owns the
+// return latency) instead of the direct peer call, and ApplyAck lands the
+// completion on the sender's CQ. This is the seam a sharded interconnect
+// (internal/simpar) uses to keep peers on separate engines.
+func TestAckPathRoutesRemoteCompletions(t *testing.T) {
+	r := newRig(t)
+	qp1, scq1, _, qp2, _, _ := r.connect(t, 16)
+	const src, dst = 0x1000, 0x9000
+	mr1, _ := r.pd1.RegisterMR(src, 4096, 0)
+	mr2, _ := r.pd2.RegisterMR(dst, 4096, AccessLocalWrite)
+	if err := qp2.PostRecv(RecvWR{ID: 3, Addr: dst, LKey: mr2.Key(), Len: 4096}); err != nil {
+		t.Fatal(err)
+	}
+
+	var routed []Ack
+	r.h2.SetAckPath(func(srcNode int, a Ack) {
+		if srcNode != 1 {
+			t.Errorf("ack routed to node %d, want 1", srcNode)
+		}
+		routed = append(routed, a)
+		// The transport's return latency, then delivery on the source side.
+		r.eng.After(5*sim.Microsecond, func() { r.h1.ApplyAck(a) })
+	})
+
+	payload := bytes.Repeat([]byte{0xab}, 512)
+	if err := qp1.PostSend(SendWR{ID: 11, Op: OpSend, LocalAddr: src, LKey: mr1.Key(), Len: len(payload), Payload: payload}); err != nil {
+		t.Fatal(err)
+	}
+	r.eng.Run()
+
+	if len(routed) != 1 || routed[0].SrcQPN != qp1.QPN() || routed[0].WRID != 11 || routed[0].Status != StatusOK {
+		t.Fatalf("routed acks = %+v", routed)
+	}
+	se, ok := scq1.Poll()
+	if !ok {
+		t.Fatal("no send completion through the ack path")
+	}
+	if se.WRID != 11 || se.Status != StatusOK || se.Opcode != OpSend {
+		t.Errorf("send CQE = %+v", se)
+	}
+	// An ack for a QP that vanished while in flight is dropped, not fatal.
+	r.h1.ApplyAck(Ack{SrcQPN: 0xdead, Op: OpSend, Status: StatusOK, WRID: 1})
+	r.eng.Shutdown()
+}

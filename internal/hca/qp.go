@@ -493,8 +493,17 @@ func (qp *QP) completeInbound(m *wireMsg) {
 }
 
 // completeSender schedules the sender-side completion after the RC ack
-// latency.
+// latency. With an ack path installed (SetAckPath), completions for remote
+// nodes become transport messages — the transport adds its own return
+// latency — instead of a direct call into the peer HCA.
 func (h *HCA) completeSender(m *wireMsg, status Status) {
+	if h.ackPath != nil && m.srcNode != h.cfg.Node {
+		h.ackPath(m.srcNode, Ack{
+			SrcQPN: m.srcQPN, Op: m.op, Status: status,
+			Len: uint32(m.len), WRID: m.wrID,
+		})
+		return
+	}
 	src := h.peerHCA(m.srcNode)
 	h.eng.After(h.cfg.AckLatency, func() {
 		srcQP, ok := src.qps[m.srcQPN]

@@ -1,0 +1,53 @@
+package placement
+
+import (
+	"fmt"
+
+	"resex/internal/cluster"
+)
+
+// Ownership is the fleet's host→shard map for sharded simulation
+// (internal/simpar): which logical shard owns each host's event
+// population. It is a pure function of the host id set and the shard
+// count (cluster.ShardMap's contiguous block partition), so every layer —
+// the simpar coordinator, the experiment drivers, a future fleet manager
+// that wants shard-local rebalancing passes — derives the identical map
+// without coordination. Ownership is a wall-clock concern only: by the
+// simpar determinism contract, simulation output is byte-identical under
+// any map.
+type Ownership struct {
+	shard  map[int]int
+	shards int
+}
+
+// NewOwnership partitions the given host node ids into shards groups.
+func NewOwnership(nodes []int, shards int) *Ownership {
+	m := cluster.ShardMap(nodes, shards)
+	n := 0
+	for _, s := range m {
+		if s+1 > n {
+			n = s + 1
+		}
+	}
+	if n == 0 {
+		n = 1
+	}
+	return &Ownership{shard: m, shards: n}
+}
+
+// Shards returns the effective shard count (after clamping to the host
+// count).
+func (o *Ownership) Shards() int { return o.shards }
+
+// Shard returns the shard owning a host. Unknown hosts panic — an
+// ownership map covers the whole fleet by construction.
+func (o *Ownership) Shard(node int) int {
+	s, ok := o.shard[node]
+	if !ok {
+		panic(fmt.Sprintf("placement: host %d not in ownership map", node))
+	}
+	return s
+}
+
+// ShardOf adapts the map to simpar.Config's lookup-function form.
+func (o *Ownership) ShardOf() func(node int) int { return o.Shard }

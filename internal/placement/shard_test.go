@@ -1,0 +1,34 @@
+package placement
+
+import "testing"
+
+func TestOwnership(t *testing.T) {
+	o := NewOwnership([]int{3, 1, 2, 4}, 2)
+	if o.Shards() != 2 {
+		t.Fatalf("Shards = %d, want 2", o.Shards())
+	}
+	// Contiguous blocks over sorted ids: {1,2} → 0, {3,4} → 1.
+	for node, want := range map[int]int{1: 0, 2: 0, 3: 1, 4: 1} {
+		if got := o.Shard(node); got != want {
+			t.Errorf("Shard(%d) = %d, want %d", node, got, want)
+		}
+	}
+	// The functional adapter is the same map.
+	f := o.ShardOf()
+	for _, node := range []int{1, 2, 3, 4} {
+		if f(node) != o.Shard(node) {
+			t.Errorf("ShardOf()(%d) != Shard(%d)", node, node)
+		}
+	}
+	// More shards than hosts clamps; the effective count reflects it.
+	if small := NewOwnership([]int{7}, 5); small.Shards() != 1 || small.Shard(7) != 0 {
+		t.Errorf("clamped ownership: shards=%d shard(7)=%d", small.Shards(), small.Shard(7))
+	}
+	// Unknown hosts panic: the map covers the fleet by construction.
+	defer func() {
+		if recover() == nil {
+			t.Error("Shard(99) on a 4-host map did not panic")
+		}
+	}()
+	o.Shard(99)
+}

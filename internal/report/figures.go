@@ -254,6 +254,23 @@ func RenderSVG(res experiments.Result) (string, error) {
 		return LineChart("Shard: conflict rate vs shard count",
 			"logical shards", "conflict rate (%)", order), nil
 
+	case *experiments.AblSimParResult:
+		// One series per shard count; the lines overlap exactly because
+		// the sharded runs are byte-identical — that overlap is the result.
+		byShards := map[int]*stats.Series{}
+		var order []*stats.Series
+		for _, row := range r.Rows {
+			s := byShards[row.Shards]
+			if s == nil {
+				s = stats.NewSeries(fmt.Sprintf("%d shards", row.Shards))
+				byShards[row.Shards] = s
+				order = append(order, s)
+			}
+			s.Add(float64(row.Sites), float64(row.Steps)/1e6)
+		}
+		return LineChart("SimPar: executed events vs fleet size per shard count",
+			"sites", "events (millions)", order), nil
+
 	case *experiments.SoftRTResult:
 		groups := make([]string, 0, len(r.Rows))
 		vals := make([][]float64, 0, len(r.Rows))

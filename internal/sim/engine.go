@@ -218,6 +218,22 @@ func (e *Engine) Breakpoint(at Time, fn func()) {
 	e.breaks[i] = breakpoint{at: at, fn: fn}
 }
 
+// NextBreak returns the earliest armed breakpoint's time. This is the
+// engine half of the sharded-run lookahead negotiation (internal/simpar):
+// a coordinator may observe where captures will fire, but it never needs
+// to cap its windows on them — breakpoints are seq-neutral and fire at a
+// deterministic position inside whatever window contains them (after the
+// engine's events at T, before any cross-host deliveries at T), so an
+// armed sharded run executes event-for-event like an unarmed one. The
+// same holds for SetStepHook/SetSampledStepHook observers: both are
+// engine-local and see the identical event sequence at any shard count.
+func (e *Engine) NextBreak() (Time, bool) {
+	if len(e.breaks) == 0 {
+		return 0, false
+	}
+	return e.breaks[0].at, true
+}
+
 // fireBreaksBefore fires, in order, every armed breakpoint with at < limit,
 // advancing the clock to each breakpoint's time (never past limit). The run
 // loops call it with the next event's timestamp — so a breakpoint at T fires

@@ -1,0 +1,81 @@
+package simpar
+
+import (
+	"testing"
+
+	"resex/internal/sim"
+)
+
+// FuzzShardMap feeds arbitrary host→shard assignments (and worker widths)
+// into the coordinator and requires the transcript of a fixed cross-host
+// workload to stay byte-identical to the serial (1 shard, 1 worker)
+// reference. Each input byte assigns one host's shard; the first two bytes
+// pick the shard and worker counts. This is the determinism contract under
+// adversarial partitioning: no legal shard map may change simulation
+// output.
+func FuzzShardMap(f *testing.F) {
+	f.Add([]byte{4, 2, 0, 1, 2, 3, 0, 1})
+	f.Add([]byte{1, 1})
+	f.Add([]byte{8, 8, 7, 7, 7, 7, 7, 7})
+	f.Add([]byte{3, 9, 1, 1, 1, 2, 2, 0})
+
+	const hosts, rounds = 6, 5
+	serial := runPing(f, hosts, rounds, Config{Shards: 1, Workers: 1})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) < 2 {
+			t.Skip()
+		}
+		shards := int(data[0])%8 + 1
+		workers := int(data[1])%8 + 1
+		assign := make(map[int]int, hosts)
+		for id := 1; id <= hosts; id++ {
+			var b byte
+			if len(data) > 1+id {
+				b = data[1+id]
+			}
+			assign[id] = int(b) % shards
+		}
+		cfg := Config{
+			Lookahead: testL,
+			Shards:    shards,
+			Workers:   workers,
+			ShardOf:   func(id int) int { return assign[id] },
+		}
+		if got := runPing(t, hosts, rounds, cfg); got != serial {
+			t.Errorf("shard map %v (shards=%d workers=%d) diverged from serial transcript:\ngot:\n%s\nwant:\n%s",
+				assign, shards, workers, got, serial)
+		}
+	})
+}
+
+// FuzzWindowPartition drives the boundary/lookahead axis: arbitrary global
+// boundary times and run horizons must never change the workload's
+// transcript, only how virtual time is chopped into windows.
+func FuzzWindowPartition(f *testing.F) {
+	f.Add(uint16(150), uint16(700))
+	f.Add(uint16(1), uint16(999))
+	f.Add(uint16(100), uint16(100))
+
+	const hosts, rounds = 4, 4
+	serial := runPing(f, hosts, rounds, Config{Shards: 1, Workers: 1})
+
+	f.Fuzz(func(t *testing.T, boundUs, stepUs uint16) {
+		r := newRig(t, hosts, Config{Shards: hosts, Workers: 2})
+		r.pingWorkload(rounds)
+		if boundUs > 0 {
+			r.co.Every(sim.Time(boundUs)*sim.Microsecond, func() bool { return true })
+		}
+		horizon := sim.Time(rounds+1) * testL
+		step := sim.Time(stepUs%1000+1) * sim.Microsecond
+		// Advance in arbitrary RunUntil increments instead of one shot.
+		for at := step; at < horizon; at += step {
+			r.co.RunUntil(at)
+		}
+		r.co.RunUntil(horizon)
+		r.co.Shutdown()
+		if got := r.output(); got != serial {
+			t.Errorf("bound=%dus step=%dus diverged:\ngot:\n%s\nwant:\n%s", boundUs, stepUs, got, serial)
+		}
+	})
+}

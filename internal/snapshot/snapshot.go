@@ -40,7 +40,9 @@ import (
 // with the subsystems, so cross-version restores would verify garbage.
 // Version 2: placement.State gained the cluster-state store counters and
 // State gained the schedshard section.
-const Version = 2
+// Version 3: State gained the simpar section (sharded-run coordinator
+// state: per-host send counters and in-flight message keys).
+const Version = 3
 
 // magic opens every snapshot file.
 var magic = []byte("RESEXSNAP\n")

@@ -17,6 +17,7 @@ import (
 	"resex/internal/resex"
 	"resex/internal/schedshard"
 	"resex/internal/sim"
+	"resex/internal/simpar"
 	"resex/internal/workload"
 	"resex/internal/xen"
 )
@@ -41,6 +42,7 @@ type State struct {
 	Workload *workload.State         `json:"workload,omitempty"`
 	Fleet    *placement.State        `json:"fleet,omitempty"`
 	Sched    *schedshard.State       `json:"schedshard,omitempty"`
+	SimPar   *simpar.HostState       `json:"simpar,omitempty"`
 	Auditor  *invariant.AuditorState `json:"auditor,omitempty"`
 }
 
@@ -58,6 +60,10 @@ type Source struct {
 	Sched    *schedshard.Scheduler
 	Injector *faults.Injector
 	Auditor  *invariant.Auditor
+	// SimPar is the engine's simpar host in a sharded run. Its exported
+	// state is shard-invariant by construction (see simpar.HostState), so
+	// bundles stay byte-identical across -simshards values.
+	SimPar *simpar.Host
 }
 
 // Capture exports the source's full state under eng. Pure observer: it
@@ -96,6 +102,10 @@ func (s Source) Capture(eng *sim.Engine) State {
 		ss := s.Sched.Checkpoint()
 		st.Sched = &ss
 	}
+	if s.SimPar != nil {
+		sp := s.SimPar.Checkpoint()
+		st.SimPar = &sp
+	}
 	if s.Auditor != nil {
 		as := s.Auditor.Checkpoint()
 		st.Auditor = &as
@@ -122,6 +132,7 @@ func (st State) sections() []struct {
 		{"workload", st.Workload},
 		{"fleet", st.Fleet},
 		{"schedshard", st.Sched},
+		{"simpar", st.SimPar},
 		{"auditor", st.Auditor},
 	}
 }
