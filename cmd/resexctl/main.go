@@ -8,14 +8,17 @@
 //
 // Verbs:
 //
-//	status                        session cursor, policy, tenants, log size
+//	status                        session cursor, policy, tenants, log size,
+//	                              and per-host market lines (epoch, prices,
+//	                              trades) when the exchange has settled
 //	run                           resume stepping from the current boundary
 //	pause                         hold at the next boundary
 //	step [n]                      advance n quanta (default 1), then pause
 //	run-until <duration>          run to a virtual-time target (e.g. 2s)
 //	add-tenant <name> <class> [rate]   class: latency, bulk or open
 //	remove-tenant <name>          stop a tenant's traffic
-//	policy <name>                 swap pricing policy: none, freemarket, ioshares
+//	policy <name>                 swap pricing policy: none, freemarket,
+//	                              ioshares or fungible
 //	snapshot <path>               write a verified-restorable snapshot
 //	restore <path>                replace the session from a snapshot
 //	watch [n]                     stream telemetry samples (n lines, or until ^C)
@@ -103,7 +106,7 @@ func build(args []string) daemon.Command {
 		want(1, "one tenant name")
 		c.Name = rest[0]
 	case "policy":
-		want(1, "one policy name (none, freemarket, ioshares)")
+		want(1, "one policy name (none, freemarket, ioshares, fungible)")
 		c.Name = rest[0]
 	case "snapshot", "restore":
 		want(1, "one file path")
@@ -126,6 +129,10 @@ func printStatus(st *daemon.Status) {
 	fmt.Printf("  log=%d\n", st.Log)
 	for _, t := range st.Tenants {
 		fmt.Printf("  tenant %s\n", t)
+	}
+	for _, m := range st.Market {
+		fmt.Printf("  market host%d epoch=%d cpu=%.2f fabric=%.2f trades=%d\n",
+			m.Host, m.Epoch, m.CPUPrice, m.FabricPrice, m.Trades)
 	}
 }
 

@@ -5,7 +5,7 @@
 // Usage:
 //
 //	resexd -socket /tmp/resexd.sock
-//	resexd -policy freemarket -tenant lat:latency -tenant bulk:bulk
+//	resexd -policy fungible -tenant lat:latency -tenant bulk:bulk
 //	resexd -restore run.snap           # resume a snapshotted session
 //	resexd -log commands.jsonl         # durable command log
 //
@@ -63,7 +63,7 @@ func main() {
 		socket    = flag.String("socket", "/tmp/resexd.sock", "unix socket to listen on")
 		seed      = flag.Int64("seed", 0, "session seed (same seed + same commands = same session)")
 		hosts     = flag.Int("hosts", 1, "worker hosts")
-		policy    = flag.String("policy", "none", "initial pricing policy: none, freemarket or ioshares")
+		policy    = flag.String("policy", "none", "initial pricing policy: none, freemarket, ioshares or fungible")
 		quantum   = flag.Duration("quantum", 100*time.Millisecond, "virtual time per step; commands land on these boundaries")
 		throttle  = flag.Duration("throttle", 100*time.Millisecond, "wall-clock pause between quanta while running (0 = free-run)")
 		cmdLog    = flag.String("log", "", "append every received command to this file (JSON lines)")

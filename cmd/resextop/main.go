@@ -9,6 +9,7 @@
 //	resextop -policy freemarket -duration 3s -refresh 250ms
 //	resextop -faults 4             # inject 4 fault storms/s; watch health
 //	resextop -workload             # multi-tenant traffic engine instead
+//	resextop -exchange             # fungible economy: rates + positions
 //	resextop -attach /tmp/resexd.sock   # render a live resexd session
 //
 // Each refresh also shows the host's health (OK/degraded/blackout) and every
@@ -16,9 +17,12 @@
 // With -workload the rig is the traffic engine's mixed-class scenario (a
 // closed-loop latency tenant against a bursty 2 MB bulk tenant) and every
 // refresh adds per-tenant columns: offered load, inflight, p99 and SLO
-// attainment over the refresh window. With -attach, resextop runs nothing
-// itself: it subscribes to a running resexd daemon's telemetry stream and
-// renders each sample with the same columns.
+// attainment over the refresh window. With -exchange the rig is a
+// two-generation heterogeneous fleet under the Fungible policy, and each
+// refresh prints every host's rate board (per-dimension prices, settlement
+// epoch, trades) plus every holder's per-dimension book position. With
+// -attach, resextop runs nothing itself: it subscribes to a running resexd
+// daemon's telemetry stream and renders each sample with the same columns.
 package main
 
 import (
@@ -31,9 +35,11 @@ import (
 	"time"
 
 	"resex/internal/daemon"
+	"resex/internal/exchange"
 	"resex/internal/experiments"
 	"resex/internal/faults"
 	"resex/internal/resex"
+	"resex/internal/resos"
 	"resex/internal/schedshard"
 	"resex/internal/sim"
 	"resex/internal/workload"
@@ -41,12 +47,13 @@ import (
 
 func main() {
 	var (
-		policyName = flag.String("policy", "ioshares", "pricing policy: freemarket or ioshares")
+		policyName = flag.String("policy", "ioshares", "pricing policy: freemarket, ioshares or fungible")
 		duration   = flag.Duration("duration", 2*time.Second, "virtual run time")
 		refresh    = flag.Duration("refresh", 100*time.Millisecond, "virtual time between table prints")
 		storms     = flag.Float64("faults", 0, "fault storms per second to inject (0 = none)")
 		seed       = flag.Int64("seed", 0, "fault schedule seed")
 		useWL      = flag.Bool("workload", false, "drive the multi-tenant traffic engine instead of the benchex scenario")
+		exchTop    = flag.Bool("exchange", false, "drive the fungible Reso economy on a heterogeneous two-host fleet and print per-host rates plus per-holder book positions")
 		shardTop   = flag.Bool("shardsched", false, "drive the multi-shard placement scheduler on a synthetic fleet and print shard/conflict counters")
 		shards     = flag.Int("shards", 4, "logical shard count for -shardsched")
 		attach     = flag.String("attach", "", "render a running resexd daemon's telemetry stream from this unix socket")
@@ -56,6 +63,15 @@ func main() {
 
 	if *attach != "" {
 		runAttached(*attach, *samples)
+		return
+	}
+
+	if *exchTop {
+		if *storms > 0 || *useWL || *shardTop {
+			fmt.Fprintln(os.Stderr, "resextop: -exchange does not combine with -faults, -workload or -shardsched")
+			os.Exit(2)
+		}
+		runExchangeTop(*duration, *refresh, *seed)
 		return
 	}
 
@@ -76,6 +92,8 @@ func main() {
 		switch strings.ToLower(*policyName) {
 		case "freemarket", "fm":
 			return resex.NewFreeMarket()
+		case "fungible", "fun":
+			return resex.NewFungible()
 		case "ioshares", "ios":
 			if *useWL {
 				// Same tuning as the abl-workload experiments: open-loop
@@ -261,6 +279,108 @@ func runWorkloadTop(mkPolicy func() resex.Policy, policyName string, duration, r
 			// Reset so the next refresh shows that window, not the cumulative
 			// run — top semantics.
 			tn.ResetStats()
+		}
+	})
+
+	e.Start()
+	e.TB.Eng.RunUntil(sim.Time(duration.Nanoseconds()))
+	e.Shutdown()
+}
+
+// runExchangeTop drives the fungible Reso economy on a two-generation
+// heterogeneous fleet — the abl-fungible scenario's shape — and prints each
+// host's rate board and every holder's book position every refresh period.
+func runExchangeTop(duration, refresh time.Duration, seed int64) {
+	bws := []float64{1e9, 500e6}
+	next := 0
+	e := workload.New(workload.Config{
+		Hosts:          2,
+		ClientPCPUs:    16,
+		LinkBandwidths: bws,
+		Policy: func() resex.Policy {
+			p := resex.NewFungible()
+			// Pin each board's utilization reference to its own link's MTUs
+			// per 250 ms epoch, as the abl-fungible experiment does.
+			p.Exchange.Capacity[exchange.DimFabric] = resos.Amount(bws[next] * 0.25 / 1024)
+			next++
+			return p
+		},
+	})
+	for i, bw := range bws {
+		gen := bws[0] / bw
+		if _, err := e.AddTenant(workload.TenantSpec{
+			Name:             fmt.Sprintf("lat%d", i),
+			Closed:           workload.ClosedLoop{Concurrency: 1},
+			SLO:              workload.SLOSpec{P99Us: 1.5 * gen * experiments.BaseSLAUs},
+			SLAUs:            gen * experiments.BaseSLAUs,
+			LatencySensitive: true,
+			Share:            3,
+			Seed:             seed + int64(i) + 1,
+		}); err != nil {
+			fmt.Fprintln(os.Stderr, "resextop:", err)
+			os.Exit(1)
+		}
+	}
+	for i, bw := range bws {
+		// Offer ~90% of each host's link as 4× bursts.
+		mean := 0.9 * bw / float64(experiments.IntfBuffer)
+		calm := mean / 1.75
+		if _, err := e.AddTenant(workload.TenantSpec{
+			Name:       fmt.Sprintf("bulk%d", i),
+			BufferSize: experiments.IntfBuffer,
+			Arrivals: &workload.MMPP2{
+				CalmRate: calm, BurstRate: 4 * calm,
+				CalmDwell: 30 * sim.Millisecond, BurstDwell: 10 * sim.Millisecond,
+			},
+			Window:         16,
+			ProcessTime:    2 * sim.Millisecond,
+			PipelineServer: true,
+			Seed:           seed + 100 + int64(i),
+		}); err != nil {
+			fmt.Fprintln(os.Stderr, "resextop:", err)
+			os.Exit(1)
+		}
+	}
+
+	period := sim.Time(refresh.Nanoseconds())
+	if period <= 0 {
+		period = 100 * sim.Millisecond
+	}
+	fmt.Printf("resextop — exchange mode, policy Fungible, refresh %v (virtual)\n", refresh)
+	e.TB.Eng.Every(period, func() {
+		fmt.Printf("\n[t=%v]\n", e.TB.Eng.Now())
+		for hi, m := range e.Mgrs {
+			keeper, ok := m.Policy().(exchange.BookKeeper)
+			if !ok {
+				continue
+			}
+			bk := keeper.Book()
+			board := bk.Board()
+			fmt.Printf("host%d  epoch %-4d trades %-4d price cpu %.2f fabric %.2f  rate fabric/cpu %.2f\n",
+				hi, bk.Epoch(), bk.TradeCount(),
+				board.Price(exchange.DimCPU), board.Price(exchange.DimFabric),
+				board.Rate(exchange.DimFabric, exchange.DimCPU))
+			fmt.Printf("  %-18s %9s %9s %9s %9s %8s %8s %7s %6s\n",
+				"holder", "cpu-ent", "cpu-spent", "fab-ent", "fab-spent", "fab-buy", "fab-sell", "rate", "cap%")
+			for _, h := range bk.Holders() {
+				var rate float64 = 1
+				capStr := "-"
+				for _, vm := range m.VMs() {
+					if vm.Dom.Name() == h.Name() {
+						rate = vm.Rate()
+						if c := vm.Dom.Cap(); c > 0 {
+							capStr = fmt.Sprintf("%d", c)
+						}
+						break
+					}
+				}
+				fmt.Printf("  %-18s %9d %9d %9d %9d %8d %8d %7.2f %6s\n",
+					h.Name(),
+					h.Entitlement(exchange.DimCPU), h.Spent(exchange.DimCPU),
+					h.Entitlement(exchange.DimFabric), h.Spent(exchange.DimFabric),
+					h.Bought(exchange.DimFabric), h.Sold(exchange.DimFabric),
+					rate, capStr)
+			}
 		}
 	})
 

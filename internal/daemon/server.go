@@ -9,6 +9,7 @@ import (
 	"sync"
 	"time"
 
+	"resex/internal/exchange"
 	"resex/internal/sim"
 	"resex/internal/snapshot"
 )
@@ -22,15 +23,27 @@ type Reply struct {
 	Status *Status `json:"status,omitempty"`
 }
 
+// MarketStatus is one host's exchange snapshot inside Status: settlement
+// epoch, the board's per-dimension quotes, and cumulative trade count.
+// Present only when the active policy keeps a trade book (Fungible).
+type MarketStatus struct {
+	Host        int     `json:"host"`
+	Epoch       int64   `json:"epoch"`
+	CPUPrice    float64 `json:"cpu_price"`
+	FabricPrice float64 `json:"fabric_price"`
+	Trades      int64   `json:"trades"`
+}
+
 // Status summarizes the session for resexctl status.
 type Status struct {
-	AtNs    int64    `json:"at_ns"`
-	Epoch   int64    `json:"epoch"`
-	Policy  string   `json:"policy"`
-	Paused  bool     `json:"paused"`
-	UntilNs int64    `json:"until_ns,omitempty"`
-	Tenants []string `json:"tenants,omitempty"`
-	Log     int      `json:"log_entries"`
+	AtNs    int64          `json:"at_ns"`
+	Epoch   int64          `json:"epoch"`
+	Policy  string         `json:"policy"`
+	Paused  bool           `json:"paused"`
+	UntilNs int64          `json:"until_ns,omitempty"`
+	Tenants []string       `json:"tenants,omitempty"`
+	Log     int            `json:"log_entries"`
+	Market  []MarketStatus `json:"market,omitempty"`
 }
 
 // TelemetryLine wraps a telemetry sample on the watch stream, so watchers
@@ -317,6 +330,15 @@ func (srv *Server) handle(req request, paused *bool, until *sim.Time) bool {
 				name += " (stopped)"
 			}
 			st.Tenants = append(st.Tenants, name)
+		}
+		for i, bk := range s.Books() {
+			st.Market = append(st.Market, MarketStatus{
+				Host:        i,
+				Epoch:       bk.Epoch(),
+				CPUPrice:    bk.Board().Price(exchange.DimCPU),
+				FabricPrice: bk.Board().Price(exchange.DimFabric),
+				Trades:      bk.TradeCount(),
+			})
 		}
 		req.reply <- Reply{OK: true, Status: st}
 	case "pause":

@@ -18,6 +18,7 @@ import (
 	"fmt"
 	"strings"
 
+	"resex/internal/exchange"
 	"resex/internal/resex"
 	"resex/internal/sim"
 	"resex/internal/snapshot"
@@ -54,7 +55,8 @@ type Config struct {
 	Seed  int64 `json:"seed"`
 	Hosts int   `json:"hosts,omitempty"` // worker hosts, default 1
 	// Policy is the initial pricing policy: "none" (passive: telemetry
-	// flows, charging at rate 1, caps lifted), "freemarket" or "ioshares".
+	// flows, charging at rate 1, caps lifted), "freemarket", "ioshares" or
+	// "fungible" (congestion-priced cross-dimension entitlement trading).
 	// Sessions are always managed so policy swaps need no rewiring.
 	Policy string `json:"policy,omitempty"`
 	// QuantumNs is the virtual step size. Default 100 ms.
@@ -105,8 +107,10 @@ func mkPolicy(name string) (func() resex.Policy, error) {
 			p.WarmupIntervals = 100
 			return p
 		}, nil
+	case "fungible", "fun":
+		return func() resex.Policy { return resex.NewFungible() }, nil
 	}
-	return nil, fmt.Errorf("daemon: unknown policy %q (none, freemarket, ioshares)", name)
+	return nil, fmt.Errorf("daemon: unknown policy %q (none, freemarket, ioshares, fungible)", name)
 }
 
 // Command is the wire form of every resexd control verb. State commands
@@ -301,6 +305,19 @@ func (s *Session) Apply(c Command) error {
 	return nil
 }
 
+// Books returns the hosts' trade books in manager order — empty unless the
+// active policy keeps one (Fungible). Live views and snapshots both read
+// them through this accessor.
+func (s *Session) Books() []*exchange.Book {
+	var books []*exchange.Book
+	for _, m := range s.wl.Mgrs {
+		if bk, ok := m.Policy().(exchange.BookKeeper); ok {
+			books = append(books, bk.Book())
+		}
+	}
+	return books
+}
+
 // source enumerates the session's snapshot-visible state.
 func (s *Session) source() *snapshot.Source {
 	return &snapshot.Source{
@@ -308,6 +325,7 @@ func (s *Session) source() *snapshot.Source {
 		Managers: s.wl.Mgrs,
 		Monitors: s.wl.Mons,
 		Workload: s.wl,
+		Books:    s.Books(),
 	}
 }
 

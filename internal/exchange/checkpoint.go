@@ -1,0 +1,44 @@
+package exchange
+
+// HolderState is one holder's position export.
+type HolderState struct {
+	Name   string `json:"name"`
+	Base   Vec    `json:"base"`
+	Ent    Vec    `json:"ent"`
+	Spent  Vec    `json:"spent"`
+	Bought Vec    `json:"bought"`
+	Sold   Vec    `json:"sold"`
+}
+
+// State is a book's deterministic state export: the settlement cursor, the
+// board's smoothed utilization, the cumulative ledger totals, and every
+// holder's position in registration order.
+type State struct {
+	Epoch   int64            `json:"epoch"`
+	Trades  int64            `json:"trades"`
+	Volume  Vec              `json:"volume"`
+	Util    [NumDims]float64 `json:"util"`
+	Holders []HolderState    `json:"holders,omitempty"`
+}
+
+// Checkpoint exports the book's current state. Pure observer: reading it
+// never settles a trade or moves a quote.
+func (bk *Book) Checkpoint() State {
+	st := State{
+		Epoch:  bk.epoch,
+		Trades: bk.trades,
+		Volume: bk.volume,
+		Util:   bk.board.util,
+	}
+	for _, h := range bk.holders {
+		st.Holders = append(st.Holders, HolderState{
+			Name:   h.name,
+			Base:   h.base,
+			Ent:    h.ent,
+			Spent:  h.spent,
+			Bought: h.bought,
+			Sold:   h.sold,
+		})
+	}
+	return st
+}

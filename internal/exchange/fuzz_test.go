@@ -1,0 +1,104 @@
+package exchange
+
+import (
+	"math"
+	"testing"
+
+	"resex/internal/resos"
+)
+
+// FuzzRateQuote drives the pure price curve with arbitrary utilization and
+// configuration: the quote must always be finite, at least 1, at most the
+// effective MaxPrice, and non-decreasing in utilization.
+func FuzzRateQuote(f *testing.F) {
+	f.Add(0.0, 0.3, 4.0, 0.95, 64.0)
+	f.Add(0.7, 0.3, 4.0, 0.95, 64.0)
+	f.Add(1.0, 0.5, 8.0, 0.99, 128.0)
+	f.Add(2.5, 0.0, 0.0, 0.0, 0.0)
+	f.Add(math.Inf(1), 0.3, 4.0, 0.95, 64.0)
+	f.Add(math.NaN(), -1.0, -4.0, 1.5, 0.5)
+	f.Fuzz(func(t *testing.T, util, alpha, beta, umax, maxPrice float64) {
+		cfg := BoardConfig{Alpha: alpha, Beta: beta, UMax: umax, MaxPrice: maxPrice}
+		eff := cfg.withDefaults()
+		p := QuotePrice(util, cfg)
+		if math.IsNaN(p) || math.IsInf(p, 0) {
+			t.Fatalf("QuotePrice(%v, %+v) not finite: %v", util, cfg, p)
+		}
+		if p < 1 || p > eff.MaxPrice {
+			t.Fatalf("QuotePrice(%v, %+v) = %v outside [1, %v]", util, cfg, p, eff.MaxPrice)
+		}
+		// Monotone: a strictly higher sanitized utilization never quotes
+		// strictly cheaper.
+		if hi := QuotePrice(util+0.1, cfg); sanitizeUtil(util) <= sanitizeUtil(util+0.1) && hi < p {
+			t.Fatalf("not monotone: price(%v)=%v > price(%v)=%v", util, p, util+0.1, hi)
+		}
+		// Cross rates built from two quotes stay finite and positive.
+		r := p / QuotePrice(util/2, cfg)
+		if math.IsNaN(r) || math.IsInf(r, 0) || r <= 0 {
+			t.Fatalf("cross rate from %v: %v", p, r)
+		}
+	})
+}
+
+// FuzzTradeSettle drives the book's settlement with arbitrary two-holder
+// positions over several epochs: settlement must never leave a negative
+// entitlement, must conserve the per-dimension entitlement total, and the
+// trade ledger must net to zero.
+func FuzzTradeSettle(f *testing.F) {
+	f.Add(int64(100_000), int64(500_000), int64(10_000), int64(900_000),
+		int64(100_000), int64(500_000), int64(30_000), int64(20_000))
+	f.Add(int64(0), int64(0), int64(0), int64(0),
+		int64(0), int64(0), int64(0), int64(0))
+	f.Add(int64(1), int64(1), int64(1<<40), int64(1<<40),
+		int64(1<<40), int64(1<<40), int64(1), int64(1))
+	f.Add(int64(-5), int64(7), int64(-3), int64(11),
+		int64(64), int64(64), int64(65), int64(65))
+	f.Fuzz(func(t *testing.T, aCPU, aFab, aSpendCPU, aSpendFab,
+		bCPU, bFab, bSpendCPU, bSpendFab int64) {
+		clip := func(x int64) resos.Amount {
+			if x < 0 {
+				return 0
+			}
+			if x > 1<<42 {
+				return 1 << 42
+			}
+			return resos.Amount(x)
+		}
+		bk := NewBook(BookConfig{})
+		a := bk.Join("a", Vec{DimCPU: clip(aCPU), DimFabric: clip(aFab)})
+		b := bk.Join("b", Vec{DimCPU: clip(bCPU), DimFabric: clip(bFab)})
+		baseTotal := Vec{
+			DimCPU:    clip(aCPU) + clip(bCPU),
+			DimFabric: clip(aFab) + clip(bFab),
+		}
+		for epoch := 0; epoch < 3; epoch++ {
+			bk.Spend(a, DimCPU, clip(aSpendCPU))
+			bk.Spend(a, DimFabric, clip(aSpendFab))
+			bk.Spend(b, DimCPU, clip(bSpendCPU))
+			bk.Spend(b, DimFabric, clip(bSpendFab))
+			rep := bk.CloseEpoch()
+			if !rep.Net.IsZero() {
+				t.Fatalf("epoch %d: ledger net %v", epoch, rep.Net)
+			}
+			var total Vec
+			for _, h := range bk.Holders() {
+				for d := Dim(0); d < NumDims; d++ {
+					if h.Entitlement(d) < 0 {
+						t.Fatalf("epoch %d: %s overdrafted %v: %d",
+							epoch, h.Name(), d, h.Entitlement(d))
+					}
+					total[d] += h.Entitlement(d)
+				}
+			}
+			if total != baseTotal {
+				t.Fatalf("epoch %d: entitlement total %v, want %v", epoch, total, baseTotal)
+			}
+			for d := Dim(0); d < NumDims; d++ {
+				p := rep.Price[d]
+				if math.IsNaN(p) || p < 1 {
+					t.Fatalf("epoch %d: bad price %v for %v", epoch, p, d)
+				}
+			}
+		}
+	})
+}

@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"resex/internal/cluster"
+	"resex/internal/exchange"
 	"resex/internal/ibmon"
 	"resex/internal/invariant"
 	"resex/internal/placement"
@@ -11,6 +12,22 @@ import (
 	"resex/internal/snapshot"
 	"resex/internal/workload"
 )
+
+// booksOf collects the trade books of every manager whose pricing policy
+// keeps one (resex.Fungible), in manager order. Empty on non-exchange runs,
+// so audits and snapshots of the other policies are untouched.
+func booksOf(mgrs []*resex.Manager) []*exchange.Book {
+	var out []*exchange.Book
+	for _, m := range mgrs {
+		if m == nil {
+			continue
+		}
+		if bp, ok := m.Policy().(exchange.BookKeeper); ok {
+			out = append(out, bp.Book())
+		}
+	}
+	return out
+}
 
 // auditTestbed attaches the two pure observers an experiment engine can
 // carry — the invariant auditor (Options.Audit) and the snapshot
@@ -34,10 +51,13 @@ func (o Options) auditTestbed(tb *cluster.Testbed, mgrs ...*resex.Manager) func(
 				a.WatchManager(m)
 			}
 		}
+		for _, bk := range booksOf(mgrs) {
+			a.WatchBook(bk)
+		}
 	}
 	if o.Checkpoint != nil {
 		o.Checkpoint.Arm(tb.Eng, o.PointSeed, &snapshot.Source{
-			TB: tb, Managers: mgrs, Auditor: a,
+			TB: tb, Managers: mgrs, Auditor: a, Books: booksOf(mgrs),
 		})
 	}
 	if a == nil {
@@ -66,9 +86,13 @@ func (o Options) auditFleet(f *placement.Fleet) (func(), *snapshot.Source) {
 				a.WatchManager(m)
 			}
 		}
+		for _, bk := range f.Books() {
+			a.WatchBook(bk)
+		}
 	}
 	src := &snapshot.Source{
 		TB: f.TB, Managers: f.Mgrs, Monitors: f.Mons, Fleet: f, Auditor: a,
+		Books: f.Books(),
 	}
 	if o.Checkpoint != nil {
 		o.Checkpoint.Arm(f.TB.Eng, o.PointSeed, src)
@@ -151,11 +175,15 @@ func (o Options) auditWorkload(e *workload.Engine) func() {
 				a.WatchManager(m)
 			}
 		}
+		for _, bk := range booksOf(e.Mgrs) {
+			a.WatchBook(bk)
+		}
 		a.WatchWorkload(e)
 	}
 	if o.Checkpoint != nil {
 		o.Checkpoint.Arm(e.TB.Eng, o.PointSeed, &snapshot.Source{
 			TB: e.TB, Managers: e.Mgrs, Monitors: e.Mons, Workload: e, Auditor: a,
+			Books: booksOf(e.Mgrs),
 		})
 	}
 	if a == nil {

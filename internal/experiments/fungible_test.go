@@ -1,0 +1,68 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"resex/internal/sim"
+)
+
+func runFungible(t *testing.T, o Options) (*AblFungibleResult, string) {
+	t.Helper()
+	res, err := AblFungible(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	if err := res.WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	return res, b.String()
+}
+
+// TestAblFungibleSeparation is the experiment-level acceptance gate at
+// reduced scale: at every swept utilization the fungible economy's SLO
+// attainment must be at least IOShares', the congested slow host must quote
+// a fabric price above par under fungible, and the whole table must be
+// byte-identical when re-run on a 3-worker pool.
+func TestAblFungibleSeparation(t *testing.T) {
+	base := Options{Duration: 300 * sim.Millisecond, Seed: 7}
+	res, ref := runFungible(t, base)
+
+	byUtil := map[int]map[string]AblFungibleRow{}
+	for _, r := range res.Rows {
+		if byUtil[r.UtilPct] == nil {
+			byUtil[r.UtilPct] = map[string]AblFungibleRow{}
+		}
+		byUtil[r.UtilPct][r.Policy] = r
+		if r.LatP99 <= 0 || r.BulkMBps <= 0 {
+			t.Errorf("degenerate row %+v", r)
+		}
+	}
+	if len(byUtil) < 4 {
+		t.Fatalf("swept %d utilizations in %d rows, want 4", len(byUtil), len(res.Rows))
+	}
+	for util, rows := range byUtil {
+		fun, ios := rows["fungible"], rows["ioshares"]
+		if fun.Policy == "" || ios.Policy == "" || rows["freemarket"].Policy == "" {
+			t.Fatalf("util=%d: missing a policy row: %v", util, rows)
+		}
+		if fun.AttainPct < ios.AttainPct {
+			t.Errorf("util=%d: fungible SLO %.1f below ioshares %.1f",
+				util, fun.AttainPct, ios.AttainPct)
+		}
+		if fun.FabricPrice <= 1 {
+			t.Errorf("util=%d: slow host quotes par (%.2f) under fungible load",
+				util, fun.FabricPrice)
+		}
+		if ios.Trades != 0 || rows["freemarket"].Trades != 0 {
+			t.Errorf("util=%d: bookless policy settled trades: %v", util, rows)
+		}
+	}
+
+	wide := base
+	wide.Parallel = 3
+	if _, got := runFungible(t, wide); got != ref {
+		t.Fatalf("Parallel=3 changed the table:\n--- serial\n%s\n--- wide\n%s", ref, got)
+	}
+}

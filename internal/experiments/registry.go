@@ -56,6 +56,8 @@ func init() {
 		func(o Options) (Result, error) { return AblWorkloadBurst(o) })
 	register("abl-workload-mix", "Workload: mixed tenant classes, SLO attainment per policy",
 		func(o Options) (Result, error) { return AblWorkloadMix(o) })
+	register("abl-fungible", "Fungible: congestion-priced Reso economy vs IOShares/FreeMarket on a heterogeneous fleet",
+		func(o Options) (Result, error) { return AblFungible(o) })
 	register("abl-restart", "Restart: crash-restart determinism and mid-run policy flip",
 		func(o Options) (Result, error) { return AblRestart(o) })
 	register("abl-shardsched", "Shard: optimistic multi-shard placement, conflict rate vs shard count",

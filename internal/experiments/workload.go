@@ -36,6 +36,8 @@ func workloadPolicy(name string) func() resex.Policy {
 			p.WarmupIntervals = 100
 			return p
 		}
+	case "fungible":
+		return func() resex.Policy { return resex.NewFungible() }
 	}
 	return nil
 }

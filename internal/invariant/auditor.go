@@ -2,7 +2,9 @@ package invariant
 
 import (
 	"fmt"
+	"math"
 
+	"resex/internal/exchange"
 	"resex/internal/hca"
 	"resex/internal/resex"
 	"resex/internal/resos"
@@ -44,10 +46,17 @@ type Auditor struct {
 	lastAt  sim.Time
 	lastSeq uint64
 
-	hvs  []*hvWatch
-	hcas []*hca.HCA
-	mgrs []*resex.Manager
-	wls  []*workload.Engine
+	hvs   []*hvWatch
+	hcas  []*hca.HCA
+	mgrs  []*resex.Manager
+	wls   []*workload.Engine
+	books []*exchange.Book
+
+	// fleetNet accumulates the per-dimension net of every settled trade
+	// across all watched books. Each host's report must net to zero on its
+	// own; the running fleet-wide sum staying zero is the cross-host half
+	// of the conservation predicate.
+	fleetNet exchange.Vec
 
 	doms     map[*xen.Domain]*domState
 	accts    map[*resos.Account]*acctState
@@ -124,6 +133,23 @@ func (a *Auditor) WatchManager(m *resex.Manager) {
 // tenant.
 func (a *Auditor) WatchWorkload(e *workload.Engine) { a.wls = append(a.wls, e) }
 
+// WatchBook adds an exchange trade book: the trade-conservation predicate.
+// Every epoch settlement's trades must net to zero per dimension on the
+// host (re-verified from the individual trade legs, not the ledger's own
+// total), the running fleet-wide sum across all watched books must stay
+// zero, quotes must be finite and at least the base price, and settlement
+// must never leave a negative entitlement. The report check runs
+// synchronously inside the settlement (nothing is scheduled); positions are
+// also re-checked on every sampled pass.
+func (a *Auditor) WatchBook(bk *exchange.Book) {
+	a.books = append(a.books, bk)
+	bk.Observe(func(rep exchange.EpochReport) {
+		if !a.closed {
+			a.checkTrades(bk, rep)
+		}
+	})
+}
+
 // Close runs one final predicate pass, detaches the step hook and cap
 // observers, and merges this auditor's tallies into the collector. Safe to
 // call more than once.
@@ -179,6 +205,9 @@ func (a *Auditor) sample() {
 	}
 	for _, e := range a.wls {
 		a.checkWorkload(e)
+	}
+	for _, bk := range a.books {
+		a.checkBook(bk)
 	}
 }
 
@@ -327,6 +356,94 @@ func (a *Auditor) checkAccount(ac *resos.Account) {
 	}
 	st.epoch, st.alloc, st.balance = ac.Epoch(), alloc, ac.Balance()
 	st.charged, st.forgiven, st.discarded = charged, ac.Forgiven(), ac.Discarded()
+}
+
+// checkTrades verifies one settlement report: the per-dimension net of the
+// trade legs is zero for the host and for the running fleet-wide sum, every
+// trade is well-formed, and the quotes are sane.
+func (a *Auditor) checkTrades(bk *exchange.Book, rep exchange.EpochReport) {
+	a.checks++
+	// Rebuild per-holder deltas from the individual trade legs.
+	deltas := make(map[string]*exchange.Vec, len(bk.Holders()))
+	leg := func(name string) *exchange.Vec {
+		v := deltas[name]
+		if v == nil {
+			v = &exchange.Vec{}
+			deltas[name] = v
+		}
+		return v
+	}
+	for _, tr := range rep.Trades {
+		if tr.BuyAmt <= 0 || tr.PayAmt <= 0 {
+			a.violate("trade-conservation", tr.Buyer,
+				fmt.Sprintf("epoch %d: non-positive trade %d/%d %v<-%v", rep.Epoch, tr.BuyAmt, tr.PayAmt, tr.Buy, tr.Pay))
+		}
+		if math.IsNaN(tr.Rate) || math.IsInf(tr.Rate, 0) || tr.Rate <= 0 {
+			a.violate("trade-conservation", tr.Buyer,
+				fmt.Sprintf("epoch %d: bad exchange rate %v", rep.Epoch, tr.Rate))
+		}
+		// Four legs, two per dimension: buyer receives/pays, seller mirrors.
+		b, s := leg(tr.Buyer), leg(tr.Seller)
+		b[tr.Buy] += tr.BuyAmt
+		b[tr.Pay] -= tr.PayAmt
+		s[tr.Buy] -= tr.BuyAmt
+		s[tr.Pay] += tr.PayAmt
+	}
+	// This callback runs synchronously inside CloseEpoch, so each holder's
+	// entitlement must be exactly its base grant plus the recorded legs —
+	// the report explains every position — and the host's net position
+	// (Σ ent−base) must be zero.
+	var hostNet exchange.Vec
+	for _, h := range bk.Holders() {
+		d := leg(h.Name())
+		for dim := exchange.Dim(0); dim < exchange.NumDims; dim++ {
+			if got, want := h.Entitlement(dim), h.Base(dim)+d[dim]; got != want {
+				a.violate("trade-conservation", h.Name(),
+					fmt.Sprintf("epoch %d: %v entitlement %d != base %d + trade legs %d", rep.Epoch, dim, got, h.Base(dim), d[dim]))
+			}
+			hostNet[dim] += h.Entitlement(dim) - h.Base(dim)
+		}
+	}
+	if !hostNet.IsZero() {
+		a.violate("trade-conservation", "host",
+			fmt.Sprintf("epoch %d: per-dimension trade deltas net %v, want zero", rep.Epoch, hostNet))
+	}
+	if !rep.Net.IsZero() {
+		a.violate("trade-conservation", "host",
+			fmt.Sprintf("epoch %d: ledger net %v disagrees with zero", rep.Epoch, rep.Net))
+	}
+	for d := range hostNet {
+		a.fleetNet[d] += hostNet[d]
+	}
+	if !a.fleetNet.IsZero() {
+		a.violate("trade-conservation", "fleet",
+			fmt.Sprintf("epoch %d: fleet-wide trade net %v, want zero", rep.Epoch, a.fleetNet))
+	}
+	for d := exchange.Dim(0); d < exchange.NumDims; d++ {
+		if p := rep.Price[d]; math.IsNaN(p) || math.IsInf(p, 0) || p < 1 {
+			a.violate("trade-conservation", "board",
+				fmt.Sprintf("epoch %d: %v priced %v (want finite, >= 1)", rep.Epoch, d, p))
+		}
+	}
+	a.checkBook(bk)
+}
+
+// checkBook verifies every holder position on a sampled pass: settlement
+// must never have left a negative entitlement, and spend only accumulates.
+func (a *Auditor) checkBook(bk *exchange.Book) {
+	for _, h := range bk.Holders() {
+		a.checks++
+		for d := exchange.Dim(0); d < exchange.NumDims; d++ {
+			if h.Entitlement(d) < 0 {
+				a.violate("trade-conservation", h.Name(),
+					fmt.Sprintf("negative %v entitlement %d after settlement", d, h.Entitlement(d)))
+			}
+			if h.Spent(d) < 0 {
+				a.violate("trade-conservation", h.Name(),
+					fmt.Sprintf("negative %v spend %d", d, h.Spent(d)))
+			}
+		}
+	}
 }
 
 // checkWorkload verifies each tenant's SLO window bookkeeping: every scored

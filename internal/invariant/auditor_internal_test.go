@@ -4,6 +4,7 @@ import (
 	"strings"
 	"testing"
 
+	"resex/internal/exchange"
 	"resex/internal/resos"
 	"resex/internal/sim"
 )
@@ -102,5 +103,61 @@ func TestCollectorMergeDeterminism(t *testing.T) {
 	out := sb.String()
 	if strings.Index(out, "a-checker") > strings.Index(out, "b-checker") {
 		t.Fatalf("WriteText not sorted by checker:\n%s", out)
+	}
+}
+
+// TestTradeConservationCheckerDetectsTampering proves the exchange checker
+// has teeth: a legal settlement passes, a report whose trades no longer
+// explain the positions is caught, and a seeded fleet imbalance is caught.
+func TestTradeConservationCheckerDetectsTampering(t *testing.T) {
+	eng := sim.New()
+	col := NewCollector(Audit)
+	a := New(eng, col)
+
+	bk := exchange.NewBook(exchange.BookConfig{})
+	a.WatchBook(bk)
+	bulk := bk.Join("bulk", exchange.Vec{exchange.DimCPU: 100_000, exchange.DimFabric: 500_000})
+	lat := bk.Join("lat", exchange.Vec{exchange.DimCPU: 100_000, exchange.DimFabric: 500_000})
+	bk.Spend(bulk, exchange.DimFabric, 900_000)
+	bk.Spend(lat, exchange.DimCPU, 10_000)
+	rep := bk.CloseEpoch()
+	if len(rep.Trades) == 0 {
+		t.Fatal("rig settled no trades")
+	}
+	if got := col.Report().Total; got != 0 {
+		t.Fatalf("legal settlement reported %d violations", got)
+	}
+
+	// A report whose trade list hides a leg no longer explains the
+	// positions: the checker must flag both parties and the host net stays
+	// zero (positions still balance), so exactly the position checks fire.
+	forged := rep
+	forged.Trades = rep.Trades[:0]
+	a.checkTrades(bk, forged)
+	a.Close()
+	if col.Report().Counts["trade-conservation"] == 0 {
+		t.Fatal("hidden trade leg not detected")
+	}
+
+	// A fleet imbalance seeded into the running sum trips the fleet check
+	// on the next legitimate settlement.
+	a2 := func() *Auditor {
+		eng2 := sim.New()
+		x := New(eng2, NewCollector(Audit))
+		return x
+	}()
+	a2.WatchBook(bk)
+	a2.fleetNet[exchange.DimFabric] = 7
+	bk.Spend(bulk, exchange.DimFabric, 900_000)
+	bk.CloseEpoch()
+	a2.Close()
+	found := false
+	for _, v := range a2.first {
+		if v.Checker == "trade-conservation" && v.Scope == "fleet" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("fleet imbalance not detected")
 	}
 }

@@ -5,6 +5,7 @@ import (
 
 	"resex/internal/benchex"
 	"resex/internal/cluster"
+	"resex/internal/exchange"
 	"resex/internal/faults"
 	"resex/internal/ibmon"
 	"resex/internal/resex"
@@ -27,6 +28,11 @@ type Config struct {
 	// host's link is scaled by Hosts so it never becomes the bottleneck.
 	// Default 1 GB/s.
 	LinkBandwidth float64
+	// LinkBandwidths optionally overrides individual workers' uplinks
+	// (indexed by worker, bytes/second; zero entries and workers past the
+	// end fall back to LinkBandwidth). This is how heterogeneous fleets —
+	// fast and slow fabric generations side by side — are built.
+	LinkBandwidths []float64
 	// IntervalsPerEpoch shortens the ResEx epoch so fleets converge inside
 	// short simulations. Default 250 (250 ms epochs).
 	IntervalsPerEpoch int
@@ -76,6 +82,14 @@ func (c Config) withDefaults() Config {
 		c.IntfThresholdPct = 5
 	}
 	return c
+}
+
+// workerLink returns worker i's uplink bandwidth, bytes/second.
+func (c Config) workerLink(i int) float64 {
+	if i < len(c.LinkBandwidths) && c.LinkBandwidths[i] > 0 {
+		return c.LinkBandwidths[i]
+	}
+	return c.LinkBandwidth
 }
 
 // Workload describes one application to place: a BenchEx server VM plus its
@@ -148,6 +162,7 @@ type Fleet struct {
 	cfg        Config
 	rng        *sim.Rand
 	store      *schedshard.Store
+	market     *exchange.Market
 	placeSeq   uint64 // canonical bind keys for store commits
 	placements []*Placement
 	faults     *faults.Injector // nil = no injection wired
@@ -158,20 +173,25 @@ type Fleet struct {
 func NewFleet(cfg Config) *Fleet {
 	cfg = cfg.withDefaults()
 	tb := cluster.New(cluster.Config{
-		Hosts:         cfg.Hosts,
 		LinkBandwidth: cfg.LinkBandwidth,
 		PCPUsPerHost:  cfg.PCPUsPerHost,
 	})
+	clientBW := 0.0
+	for n := 1; n <= cfg.Hosts; n++ {
+		tb.AddHostOpts(n, cluster.HostOptions{LinkBandwidth: cfg.workerLink(n - 1)})
+		clientBW += cfg.workerLink(n - 1)
+	}
 	f := &Fleet{
 		TB: tb,
 		Client: tb.AddHostOpts(cfg.Hosts+1, cluster.HostOptions{
-			LinkBandwidth: cfg.LinkBandwidth * float64(cfg.Hosts),
+			LinkBandwidth: clientBW,
 			PCPUs:         cfg.ClientPCPUs,
 		}),
-		Log:   &EventLog{},
-		cfg:   cfg,
-		rng:   sim.NewRand(cfg.Seed),
-		store: schedshard.NewStore(),
+		Log:    &EventLog{},
+		cfg:    cfg,
+		rng:    sim.NewRand(cfg.Seed),
+		store:  schedshard.NewStore(),
+		market: exchange.NewMarket(),
 	}
 	for n := 1; n <= cfg.Hosts; n++ {
 		h := tb.Host(n)
@@ -186,6 +206,9 @@ func NewFleet(cfg Config) *Fleet {
 		mgr.Start()
 		idx := n - 1
 		mgr.ObserveEpoch(func(es resex.EpochSummary) { f.onEpoch(idx, es) })
+		if bp, ok := mgr.Policy().(exchange.BookKeeper); ok {
+			f.market.Add(n, bp.Book())
+		}
 		f.Mons = append(f.Mons, mon)
 		f.Mgrs = append(f.Mgrs, mgr)
 	}
@@ -262,6 +285,24 @@ func (f *Fleet) onEpoch(hostIdx int, es resex.EpochSummary) {
 // read the same store.
 func (f *Fleet) Store() *schedshard.Store { return f.store }
 
+// Market returns the fleet-level exchange market: one listing per worker
+// whose policy keeps a trade book (empty on non-pricing fleets). Placement
+// views read per-host quotes from it and the rebalancer reads gradients.
+func (f *Fleet) Market() *exchange.Market { return f.market }
+
+// Books returns every worker's trade book in host order (nil-free; empty on
+// fleets whose policy does not keep books). Snapshot sources and invariant
+// audits consume it.
+func (f *Fleet) Books() []*exchange.Book {
+	var out []*exchange.Book
+	for _, h := range f.Workers {
+		if bk := f.market.BookOf(h.Node); bk != nil {
+			out = append(out, bk)
+		}
+	}
+	return out
+}
+
 // refresh rebuilds the scheduler's view of every worker host from live
 // fleet state and publishes it as the store's next snapshot version.
 func (f *Fleet) refresh() *schedshard.Snapshot {
@@ -276,9 +317,14 @@ func (f *Fleet) buildView() []*HostInfo {
 			Node:            h.Node,
 			FreePCPUs:       h.FreePCPUs(),
 			TotalPCPUs:      f.cfg.PCPUsPerHost - 1, // dom0 owns PCPU 0
-			LinkBytesPerSec: f.cfg.LinkBandwidth,
+			LinkBytesPerSec: f.cfg.workerLink(i),
 			ResoHeadroom:    1,
 			Health:          f.HostHealth(i),
+		}
+		if bk := f.market.BookOf(h.Node); bk != nil {
+			for d := exchange.Dim(0); d < exchange.NumDims; d++ {
+				hi.Prices[d] = bk.Board().Price(d)
+			}
 		}
 		for _, pl := range f.placements {
 			if pl.HostIdx != i {
@@ -290,7 +336,7 @@ func (f *Fleet) buildView() []*HostInfo {
 				vi.BytesPerSec = prof.BytesPerSec
 				vi.BufferSize = prof.BufferSize
 			}
-			hi.IOCommitted += vi.BytesPerSec / f.cfg.LinkBandwidth
+			hi.IOCommitted += vi.BytesPerSec / f.cfg.workerLink(i)
 			hi.VMs = append(hi.VMs, vi)
 		}
 		if vms := f.Mgrs[i].VMs(); len(vms) > 0 {

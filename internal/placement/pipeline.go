@@ -68,6 +68,8 @@ type (
 	ResoHeadroom = schedshard.ResoHeadroom
 	// InterferenceAware penalizes fatal colocations.
 	InterferenceAware = schedshard.InterferenceAware
+	// RateWeightedHeadroom discounts free capacity by congestion quotes.
+	RateWeightedHeadroom = schedshard.RateWeightedHeadroom
 )
 
 // Health states (see schedshard.HostHealth).
@@ -89,6 +91,10 @@ func NewSpreadPipeline() *Pipeline { return schedshard.NewSpreadPipeline() }
 // filters, then interference avoidance dominating, with Reso headroom and
 // CPU spreading as tie-breakers.
 func NewInterferencePipeline() *Pipeline { return schedshard.NewInterferencePipeline() }
+
+// NewRatePipeline is the exchange-priced scheduler: interference avoidance
+// dominating, with rate-weighted headroom packing load onto cheap hosts.
+func NewRatePipeline() *Pipeline { return schedshard.NewRatePipeline() }
 
 // ---------------------------------------------------------------------------
 // Strategies.

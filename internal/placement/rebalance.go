@@ -3,6 +3,7 @@ package placement
 import (
 	"errors"
 
+	"resex/internal/exchange"
 	"resex/internal/sim"
 )
 
@@ -32,6 +33,12 @@ type RebalanceConfig struct {
 	// retry immediately, even into the same failure window.
 	RetryBackoff    sim.Time
 	MaxRetryBackoff sim.Time
+	// GradientThreshold enables exchange-priced proactive rebalancing: when
+	// no latency victim needs help, a host whose fabric quote sits this
+	// fraction above the fleet mean (see exchange.Market.Gradient) sheds its
+	// hardest-driving bulk VM toward a strictly cheaper host. Zero disables
+	// gradient moves; fleets without a market never make them.
+	GradientThreshold float64
 }
 
 func (c RebalanceConfig) withDefaults() RebalanceConfig {
@@ -69,9 +76,15 @@ type Rebalancer struct {
 }
 
 // NewRebalancer creates a rebalancer using the interference-aware pipeline
-// to pick migration targets.
+// to pick migration targets — rate-weighted (NewRatePipeline) when the
+// fleet's policy prices through the exchange, so migration targets are
+// scored with the same economics new placements are.
 func NewRebalancer(f *Fleet, cfg RebalanceConfig) *Rebalancer {
-	return &Rebalancer{f: f, cfg: cfg.withDefaults(), pipe: NewInterferencePipeline()}
+	pipe := NewInterferencePipeline()
+	if len(f.Market().Hosts()) > 0 {
+		pipe = NewRatePipeline()
+	}
+	return &Rebalancer{f: f, cfg: cfg.withDefaults(), pipe: pipe}
 }
 
 // Start launches the periodic pass.
@@ -117,6 +130,7 @@ func (r *Rebalancer) pass(p *sim.Proc) {
 		}
 	}
 	if victim == nil {
+		r.gradientPass(p)
 		return
 	}
 	srcIdx := victim.HostIdx
@@ -181,7 +195,73 @@ func (r *Rebalancer) pass(p *sim.Proc) {
 		"victim %s (intf %.0f%% for %d epochs) -> migrating %s node%d->node%d",
 		victim.Spec.Name, victim.lastIntf, victim.intfEpochs,
 		mover.Spec.Name, src.Node, target.Node)
-	if _, err := f.Migrate(p, mover, f.Workers[f.workerIdx(target.Node)], r.cfg.Migration); err != nil {
+	if !r.migrate(p, mover, target.Node) {
+		return
+	}
+	// Give the fabric a fresh observation window before judging again.
+	victim.intfEpochs = 0
+}
+
+// gradientPass is the proactive, economics-driven half of the loop: with no
+// latency victim to rescue, it reads the fleet market's price gradients and
+// drains the hardest-driving bulk VM off the host whose fabric quote sits
+// furthest above the fleet mean — onto a strictly cheaper, strictly
+// better-scoring host. This is migration pressure from prices alone: load
+// spreads off congested (expensive) fabrics before anyone's SLA breaks.
+func (r *Rebalancer) gradientPass(p *sim.Proc) {
+	f := r.f
+	mk := f.Market()
+	if r.cfg.GradientThreshold <= 0 || len(mk.Hosts()) == 0 {
+		return
+	}
+	srcIdx, worst := -1, 0.0
+	for i, h := range f.Workers {
+		g := mk.Gradient(h.Node, exchange.DimFabric)
+		if g >= r.cfg.GradientThreshold && (srcIdx < 0 || g > worst) {
+			srcIdx, worst = i, g
+		}
+	}
+	if srcIdx < 0 {
+		return
+	}
+	src := f.Workers[srcIdx]
+	var mover *Placement
+	var moverRate float64
+	for _, pl := range f.placements {
+		if pl.HostIdx != srcIdx || pl.Spec.LatencySensitive {
+			continue
+		}
+		if pl.Spec.BufferSize < r.cfg.LargeBuffer {
+			continue
+		}
+		rate := 0.0
+		if prof, ok := f.Mons[srcIdx].ProfileOf(pl.App.ServerVM.Dom.ID()); ok {
+			rate = prof.BytesPerSec
+		}
+		if mover == nil || rate > moverRate {
+			mover, moverRate = pl, rate
+		}
+	}
+	if mover == nil || f.TB.Eng.Now() < mover.retryAt {
+		return
+	}
+	target, _, err := r.pipe.Select(f.whatIf(mover), mover.Spec)
+	if err != nil || target.Node == src.Node {
+		return
+	}
+	if mk.Price(target.Node, exchange.DimFabric) >= mk.Price(src.Node, exchange.DimFabric) {
+		return // moving toward an equal-or-pricier fabric is churn
+	}
+	f.Log.Add(f.TB.Eng.Now(), "rebalance",
+		"fabric gradient +%.0f%% on node%d -> migrating %s node%d->node%d",
+		worst*100, src.Node, mover.Spec.Name, src.Node, target.Node)
+	r.migrate(p, mover, target.Node)
+}
+
+// migrate performs one move with abort backoff; reports success.
+func (r *Rebalancer) migrate(p *sim.Proc, mover *Placement, targetNode int) bool {
+	f := r.f
+	if _, err := f.Migrate(p, mover, f.Workers[f.workerIdx(targetNode)], r.cfg.Migration); err != nil {
 		if errors.Is(err, ErrPreCopyAborted) && r.cfg.RetryBackoff > 0 {
 			mover.migFailures++
 			backoff := r.cfg.RetryBackoff << (mover.migFailures - 1)
@@ -192,12 +272,11 @@ func (r *Rebalancer) pass(p *sim.Proc) {
 			f.Log.Add(f.TB.Eng.Now(), "rebalance",
 				"migration of %s aborted (failure %d); retry backoff %v",
 				mover.Spec.Name, mover.migFailures, backoff)
-			return
+			return false
 		}
 		f.Log.Add(f.TB.Eng.Now(), "rebalance", "migration of %s failed: %v", mover.Spec.Name, err)
-		return
+		return false
 	}
 	mover.migFailures, mover.retryAt = 0, 0
-	// Give the fabric a fresh observation window before judging again.
-	victim.intfEpochs = 0
+	return true
 }

@@ -225,6 +225,21 @@ func RenderSVG(res experiments.Result) (string, error) {
 		return LineChart("Workload: burstiness vs tail latency",
 			"burst factor (mean rate constant)", "p99 latency (µs)", order), nil
 
+	case *experiments.AblFungibleResult:
+		byPolicy := map[string]*stats.Series{}
+		var order []*stats.Series
+		for _, row := range r.Rows {
+			s := byPolicy[row.Policy]
+			if s == nil {
+				s = stats.NewSeries(row.Policy)
+				byPolicy[row.Policy] = s
+				order = append(order, s)
+			}
+			s.Add(float64(row.UtilPct), row.AttainPct)
+		}
+		return LineChart("Fungible: SLO attainment vs bulk utilization",
+			"bulk offered load (% of link)", "SLO attainment (%)", order), nil
+
 	case *experiments.AblRestartResult:
 		// Crash-restart rows and policy-flip rows share the mixed-class
 		// columns, so one grouped frame covers both halves of the report.

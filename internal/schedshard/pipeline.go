@@ -1,6 +1,10 @@
 package schedshard
 
-import "fmt"
+import (
+	"fmt"
+
+	"resex/internal/exchange"
+)
 
 // FilterPlugin rules hosts in or out for a spec.
 type FilterPlugin interface {
@@ -264,6 +268,34 @@ func (ia InterferenceAware) Score(h *HostInfo, s Spec) float64 {
 	return 1 / (1 + penalty)
 }
 
+// RateWeightedHeadroom is the exchange-priced headroom scorer: free
+// capacity in each dimension is discounted by the host's congestion quote
+// for that dimension, turning placement into rate-weighted vector
+// bin-packing. A host with plenty of free PCPUs but an expensive fabric
+// (its rate board prices the link as congested) scores like a nearly-full
+// host; a host quoting base prices everywhere scores its raw headroom.
+// On fleets whose policy does not price (no rate boards feeding Prices),
+// every quote floors at 1 and the scorer degrades to plain headroom.
+type RateWeightedHeadroom struct{}
+
+// Name implements ScorePlugin.
+func (RateWeightedHeadroom) Name() string { return "rate-weighted-headroom" }
+
+// Score implements ScorePlugin.
+func (RateWeightedHeadroom) Score(h *HostInfo, _ Spec) float64 {
+	cpu := 0.0
+	if h.TotalPCPUs > 0 {
+		cpu = float64(h.FreePCPUs) / float64(h.TotalPCPUs)
+	}
+	link := 1 - h.IOCommitted
+	if link < 0 {
+		link = 0
+	}
+	// Each term is a [0,1] free-fraction divided by a price >= 1, so the
+	// weighted sum stays in [0,1] and congested dimensions shrink toward 0.
+	return 0.5*cpu/h.PriceOf(exchange.DimCPU) + 0.5*link/h.PriceOf(exchange.DimFabric)
+}
+
 // NewSpreadPipeline is the CPU-only spreading scheduler: capacity and
 // health filters plus SpreadByCPU.
 func NewSpreadPipeline() *Pipeline {
@@ -283,4 +315,17 @@ func NewInterferencePipeline() *Pipeline {
 		AddScorer(InterferenceAware{}, 1).
 		AddScorer(ResoHeadroom{}, 0.3).
 		AddScorer(SpreadByCPU{}, 0.5)
+}
+
+// NewRatePipeline is the exchange-priced scheduler: interference avoidance
+// still dominates (a cheap host running a fatal neighbor is still fatal),
+// but the headroom tie-break is rate-weighted, so among interference-safe
+// hosts the fleet packs load where congestion prices are lowest.
+func NewRatePipeline() *Pipeline {
+	return NewPipeline().
+		AddFilter(FitsPCPUs{}).
+		AddFilter(HealthyHost{}).
+		AddScorer(InterferenceAware{}, 1).
+		AddScorer(RateWeightedHeadroom{}, 0.6).
+		AddScorer(SpreadByCPU{}, 0.2)
 }

@@ -25,7 +25,11 @@
 // goroutine interleaving, so output is byte-identical at any worker count.
 package schedshard
 
-import "fmt"
+import (
+	"fmt"
+
+	"resex/internal/exchange"
+)
 
 // Spec is what the scheduler knows about a VM *before* it runs: its
 // declared workload class. Resident VMs are additionally described by live
@@ -114,7 +118,21 @@ type HostInfo struct {
 	// ResoHeadroom is the mean remaining Reso balance fraction across the
 	// host's managed VMs (1 = untouched allocations, 0 = exhausted).
 	ResoHeadroom float64
-	VMs          []VMInfo
+	// Prices are the host's per-dimension congestion quotes from its
+	// exchange rate board (see internal/exchange). Zero entries mean the
+	// host does not price that dimension (treated as the base price 1), so
+	// fleets on non-exchange policies score exactly as before.
+	Prices [exchange.NumDims]float64
+	VMs    []VMInfo
+}
+
+// PriceOf returns the host's quote for a dimension, flooring at the base
+// price 1 so unpriced hosts neither attract nor repel load.
+func (h *HostInfo) PriceOf(d exchange.Dim) float64 {
+	if p := h.Prices[d]; p > 1 {
+		return p
+	}
+	return 1
 }
 
 // Snapshot is one immutable, versioned view of the whole fleet. Hosts are

@@ -42,7 +42,9 @@ import (
 // State gained the schedshard section.
 // Version 3: State gained the simpar section (sharded-run coordinator
 // state: per-host send counters and in-flight message keys).
-const Version = 3
+// Version 4: State gained the exchange section (per-host fungible-market
+// trade books: board utilization EWMAs, ledger totals, holder positions).
+const Version = 4
 
 // magic opens every snapshot file.
 var magic = []byte("RESEXSNAP\n")

@@ -8,6 +8,7 @@ import (
 	"strings"
 	"testing"
 
+	"resex/internal/exchange"
 	"resex/internal/sim"
 )
 
@@ -248,5 +249,64 @@ func TestBundleWithNoSnapsErrors(t *testing.T) {
 	p := NewCapture(sim.Second)
 	if _, err := p.Bundle(Meta{}); err == nil {
 		t.Fatal("Bundle with zero captures should error")
+	}
+}
+
+func TestDecodeRejectsPriorVersion(t *testing.T) {
+	// A Version-3 frame (the last format before the exchange section) must
+	// be rejected with an error naming both versions, not mis-parsed.
+	b := encodeSample(t)
+	binary.BigEndian.PutUint32(b[10:14], 3)
+	_, err := Decode(bytes.NewReader(b))
+	if err == nil {
+		t.Fatal("Decode accepted a version-3 snapshot")
+	}
+	if !strings.Contains(err.Error(), "format version 3") ||
+		!strings.Contains(err.Error(), "4") {
+		t.Fatalf("version error does not name both versions: %v", err)
+	}
+}
+
+func TestExchangeSectionRoundTrips(t *testing.T) {
+	// A bundle carrying per-host trade books must survive Encode/Decode
+	// byte-identically and diff as the "exchange" section when tampered.
+	bk := exchange.NewBook(exchange.BookConfig{})
+	a := bk.Join("vm-a", exchange.Vec{100_000, 1 << 19})
+	b := bk.Join("vm-b", exchange.Vec{100_000, 1 << 19})
+	bk.Spend(a, exchange.DimFabric, 900_000)
+	bk.Spend(b, exchange.DimCPU, 50_000)
+	bk.CloseEpoch()
+	bk.Spend(a, exchange.DimFabric, 900_000)
+	bk.CloseEpoch()
+
+	bun := sampleBundle()
+	bun.Snaps[0].State.Exchange = []exchange.State{bk.Checkpoint()}
+	var buf bytes.Buffer
+	if err := Encode(&buf, bun); err != nil {
+		t.Fatalf("Encode: %v", err)
+	}
+	got, err := Decode(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	want, _ := json.Marshal(bun)
+	have, _ := json.Marshal(got)
+	if !bytes.Equal(want, have) {
+		t.Fatalf("exchange round trip mismatch:\nwant %s\ngot  %s", want, have)
+	}
+
+	tampered := got.Snaps[0].State
+	tampered.Exchange[0].Trades++
+	if bad := Diverging(tampered, bun.Snaps[0].State); len(bad) != 1 || bad[0] != "exchange" {
+		t.Fatalf("tampered book diffs as %v, want [exchange]", bad)
+	}
+}
+
+func TestCaptureSkipsNilBooks(t *testing.T) {
+	bk := exchange.NewBook(exchange.BookConfig{})
+	src := Source{Books: []*exchange.Book{nil, bk, nil}}
+	st := src.Capture(sim.New())
+	if len(st.Exchange) != 1 {
+		t.Fatalf("captured %d books, want 1", len(st.Exchange))
 	}
 }

@@ -9,6 +9,7 @@ import (
 	"sync"
 
 	"resex/internal/cluster"
+	"resex/internal/exchange"
 	"resex/internal/faults"
 	"resex/internal/hca"
 	"resex/internal/ibmon"
@@ -44,6 +45,7 @@ type State struct {
 	Sched    *schedshard.State       `json:"schedshard,omitempty"`
 	SimPar   *simpar.HostState       `json:"simpar,omitempty"`
 	Auditor  *invariant.AuditorState `json:"auditor,omitempty"`
+	Exchange []exchange.State        `json:"exchange,omitempty"`
 }
 
 // Source enumerates the live objects a capture exports. All fields are
@@ -64,6 +66,9 @@ type Source struct {
 	// state is shard-invariant by construction (see simpar.HostState), so
 	// bundles stay byte-identical across -simshards values.
 	SimPar *simpar.Host
+	// Books are the per-host fungible-market trade books (in host order)
+	// when the run prices with the exchange; nil entries are skipped.
+	Books []*exchange.Book
 }
 
 // Capture exports the source's full state under eng. Pure observer: it
@@ -110,6 +115,11 @@ func (s Source) Capture(eng *sim.Engine) State {
 		as := s.Auditor.Checkpoint()
 		st.Auditor = &as
 	}
+	for _, bk := range s.Books {
+		if bk != nil {
+			st.Exchange = append(st.Exchange, bk.Checkpoint())
+		}
+	}
 	return st
 }
 
@@ -134,6 +144,7 @@ func (st State) sections() []struct {
 		{"schedshard", st.Sched},
 		{"simpar", st.SimPar},
 		{"auditor", st.Auditor},
+		{"exchange", st.Exchange},
 	}
 }
 

@@ -23,6 +23,11 @@ type Config struct {
 	ClientPCPUs int
 	// LinkBandwidth is the per-worker uplink, bytes/second. Default 1 GB/s.
 	LinkBandwidth float64
+	// LinkBandwidths optionally overrides individual workers' uplinks
+	// (indexed by worker, bytes/second; zero entries and workers past the
+	// end fall back to LinkBandwidth) — heterogeneous fleets with fast and
+	// slow fabric generations side by side.
+	LinkBandwidths []float64
 	// Policy builds the per-host ResEx pricing policy. Nil leaves the
 	// hosts unmanaged — no monitor, no manager, raw interference.
 	Policy func() resex.Policy
@@ -50,6 +55,14 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
+// workerLink returns worker i's uplink bandwidth, bytes/second.
+func (c Config) workerLink(i int) float64 {
+	if i < len(c.LinkBandwidths) && c.LinkBandwidths[i] > 0 {
+		return c.LinkBandwidths[i]
+	}
+	return c.LinkBandwidth
+}
+
 // Engine is the assembled multi-tenant rig: worker hosts (each optionally
 // under its own IBMon monitor + ResEx manager), a shared client host, and
 // the tenants driving traffic between them.
@@ -73,14 +86,18 @@ type Engine struct {
 func New(cfg Config) *Engine {
 	cfg = cfg.withDefaults()
 	tb := cluster.New(cluster.Config{
-		Hosts:         cfg.Hosts,
 		LinkBandwidth: cfg.LinkBandwidth,
 		PCPUsPerHost:  cfg.PCPUsPerHost,
 	})
+	clientBW := 0.0
+	for n := 1; n <= cfg.Hosts; n++ {
+		tb.AddHostOpts(n, cluster.HostOptions{LinkBandwidth: cfg.workerLink(n - 1)})
+		clientBW += cfg.workerLink(n - 1)
+	}
 	e := &Engine{
 		TB: tb,
 		Client: tb.AddHostOpts(cfg.Hosts+1, cluster.HostOptions{
-			LinkBandwidth: cfg.LinkBandwidth * float64(cfg.Hosts),
+			LinkBandwidth: clientBW,
 			PCPUs:         cfg.ClientPCPUs,
 		}),
 		cfg: cfg,
@@ -159,8 +176,12 @@ func (e *Engine) AddTenant(spec TenantSpec) (*Tenant, error) {
 	var agent *benchex.Agent
 	if len(e.Mgrs) > 0 {
 		dom := serverVM.Dom
-		if _, err := e.Mgrs[hostIdx].ManageCQs(dom, h.Backend.CQsOf(dom.ID()), spec.SLAUs); err != nil {
+		mvm, err := e.Mgrs[hostIdx].ManageCQs(dom, h.Backend.CQsOf(dom.ID()), spec.SLAUs)
+		if err != nil {
 			return nil, err
+		}
+		if spec.Share > 1 {
+			e.Mgrs[hostIdx].SetShare(mvm, spec.Share)
 		}
 		// Only SLA-backed tenants run the in-VM reporting agent. A tenant
 		// without an SLA reference (bulk movers) is still managed — its MTU

@@ -74,6 +74,9 @@ type TenantSpec struct {
 	// SLAUs is the latency reference (µs) handed to the host's ResEx
 	// manager; 0 lets the policy learn a baseline (bulk tenants).
 	SLAUs float64
+	// Share is the tenant's Reso allocation weight on its host's ResEx
+	// manager (entitlement priority across every pricing family). Default 1.
+	Share int
 	// LatencySensitive marks the tenant for reporting (mirrors the
 	// placement layer's classification).
 	LatencySensitive bool
