@@ -356,9 +356,10 @@ func runExchangeTop(duration, refresh time.Duration, seed int64) {
 			}
 			bk := keeper.Book()
 			board := bk.Board()
-			fmt.Printf("host%d  epoch %-4d trades %-4d price cpu %.2f fabric %.2f  rate fabric/cpu %.2f\n",
+			fmt.Printf("host%d  epoch %-4d trades %-4d price cpu %.2f fabric %.2f membw %.2f  rate fabric/cpu %.2f\n",
 				hi, bk.Epoch(), bk.TradeCount(),
 				board.Price(exchange.DimCPU), board.Price(exchange.DimFabric),
+				board.Price(exchange.DimMemBW),
 				board.Rate(exchange.DimFabric, exchange.DimCPU))
 			fmt.Printf("  %-18s %9s %9s %9s %9s %8s %8s %7s %6s\n",
 				"holder", "cpu-ent", "cpu-spent", "fab-ent", "fab-spent", "fab-buy", "fab-sell", "rate", "cap%")

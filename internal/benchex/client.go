@@ -21,9 +21,12 @@ type LatencyRecord struct {
 // ClientStats aggregates a client's measurements.
 type ClientStats struct {
 	Sent, Received int64
-	Latency        stats.Summary // end-to-end, µs
-	Sample         *stats.Sample // retained latencies for distribution plots
-	Timeline       []LatencyRecord
+	// OnTime counts responses whose end-to-end latency met the configured
+	// SLA (ClientConfig.SLAUs); stays 0 with no SLA configured.
+	OnTime   int64
+	Latency  stats.Summary // end-to-end, µs
+	Sample   *stats.Sample // retained latencies for distribution plots
+	Timeline []LatencyRecord
 }
 
 // Client is a BenchEx client running inside one VM, generating the
@@ -108,6 +111,19 @@ func (c *Client) Stats() ClientStats { return c.stats }
 // sent/received counters restart too.
 func (c *Client) ResetStats() {
 	c.stats = ClientStats{Sample: stats.NewSample(4096)}
+}
+
+// SetInterval retunes the open-loop pacing mid-run: the issue loop reads
+// the interval fresh for every gap, so the new rate takes effect from the
+// next issue slot. This is how the geo-diurnal drivers modulate per-zone
+// offered load at simulation-time boundaries (the call must come from the
+// client's own engine — a simpar boundary callback or an engine event —
+// never from another goroutine). Non-positive intervals are ignored: a
+// paced client stays paced.
+func (c *Client) SetInterval(d sim.Time) {
+	if d > 0 {
+		c.cfg.Interval = d
+	}
 }
 
 // Done is broadcast when a bounded client finishes its request budget.
@@ -286,6 +302,9 @@ func (c *Client) complete(p *sim.Proc, cqe hca.CQE) {
 	if err == nil {
 		lat := now - resp.SentAt
 		c.stats.Received++
+		if c.cfg.SLAUs > 0 && lat.Microseconds() <= c.cfg.SLAUs {
+			c.stats.OnTime++
+		}
 		c.stats.Latency.Add(lat.Microseconds())
 		c.stats.Sample.Add(lat.Microseconds())
 		if c.cfg.RecordTimeline {

@@ -160,6 +160,12 @@ type ClientConfig struct {
 	// deterministic phase-locking between collocated closed loops.
 	// Default 0.1.
 	PrepJitter float64
+	// SLAUs, when positive, is the client's end-to-end latency SLA in µs:
+	// responses at or under it count toward ClientStats.OnTime, giving the
+	// geo/scenario experiments an exact integer attainment counter (float
+	// percentiles are not permutation-stable across zone relabelings;
+	// integer tallies are).
+	SLAUs float64
 	// Requests stops the client after this many requests; 0 = run forever.
 	Requests int
 	// Seed drives the workload generator.

@@ -255,10 +255,24 @@ func (bk *Book) CloseEpoch() EpochReport {
 	// Match each buy/pay dimension pair. A buyer funds the purchase from
 	// its own sellable surplus in the pay dimension; quantities are bounded
 	// so no entitlement ever goes negative: BuyAmt ≤ floor(budget/rate)
-	// keeps ceil(BuyAmt·rate) ≤ budget.
-	pairs := [...][2]Dim{{DimFabric, DimCPU}, {DimCPU, DimFabric}}
+	// keeps ceil(BuyAmt·rate) ≤ budget. The original two-dimension pairs
+	// come first, so adding DimMemBW pairs after them cannot reorder any
+	// trade a two-dimension fleet would have settled.
+	pairs := [...][2]Dim{
+		{DimFabric, DimCPU}, {DimCPU, DimFabric},
+		{DimMemBW, DimCPU}, {DimCPU, DimMemBW},
+		{DimMemBW, DimFabric}, {DimFabric, DimMemBW},
+	}
 	for _, pair := range pairs {
 		buy, pay := pair[0], pair[1]
+		// An undemanded dimension is inert: nobody is short in it, and its
+		// idle surplus is not accepted as tender. This is what keeps the
+		// third dimension a strict byte-level no-op on fleets that never
+		// spend it — without the gate, a holder's untouched membw grant
+		// would quietly fund CPU/fabric purchases and change settlements.
+		if (buy == DimMemBW || pay == DimMemBW) && demand[DimMemBW] == 0 {
+			continue
+		}
 		rate := bk.board.Rate(buy, pay)
 		for bi := range pos {
 			b := &pos[bi]

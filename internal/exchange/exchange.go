@@ -41,9 +41,16 @@ const (
 	DimCPU Dim = iota
 	// DimFabric is fabric entitlement: Resos charged for MTUs sent.
 	DimFabric
-	// NumDims bounds the dimension space. A third dimension (e.g. memory
-	// bandwidth, per H-MBR) slots in before NumDims; every [NumDims]-sized
-	// table in this package scales with it automatically.
+	// DimMemBW is memory-bandwidth entitlement, per H-MBR (PAPERS.md):
+	// Resos charged for 4 KiB memory-traffic units. The dimension is a
+	// strict no-op while no holder demands it — a fleet with zero DimMemBW
+	// spend settles byte-identically to a two-dimension fleet, because an
+	// undemanded dimension is neither bought nor accepted as tender (see
+	// Book.CloseEpoch's demand gate).
+	DimMemBW
+	// NumDims bounds the dimension space. A further dimension slots in
+	// before NumDims; every [NumDims]-sized table in this package scales
+	// with it automatically.
 	NumDims
 )
 
@@ -54,6 +61,8 @@ func (d Dim) String() string {
 		return "cpu"
 	case DimFabric:
 		return "fabric"
+	case DimMemBW:
+		return "membw"
 	default:
 		return fmt.Sprintf("dim%d", int(d))
 	}

@@ -104,14 +104,17 @@ func (o Options) auditFleet(f *placement.Fleet) (func(), *snapshot.Source) {
 }
 
 // auditShardSched attaches the pure observers to a standalone multi-shard
-// scheduler run (abl-shardsched): the scheduler has no testbed — its hosts
-// are synthetic snapshot entries, not simulated machines — so the invariant
-// auditor runs with only its engine-level checks (clock monotonicity, step
-// accounting), and the snapshot source carries the scheduler's own state.
+// scheduler run (abl-shardsched, abl-scaleset): the scheduler has no
+// testbed — its hosts are synthetic snapshot entries, not simulated
+// machines — so the invariant auditor runs with its engine-level checks
+// (clock monotonicity, step accounting) plus the gang-atomicity predicate
+// over the scheduler's bind log, and the snapshot source carries the
+// scheduler's own state.
 func (o Options) auditShardSched(eng *sim.Engine, sched *schedshard.Scheduler) func() {
 	var a *invariant.Auditor
 	if o.Audit != nil {
 		a = invariant.New(eng, o.Audit)
+		a.WatchSched(sched)
 	}
 	if o.Checkpoint != nil {
 		o.Checkpoint.Arm(eng, o.PointSeed, &snapshot.Source{Sched: sched, Auditor: a})
@@ -149,6 +152,38 @@ func (o Options) auditSimPar(f *SimParFleet) func() {
 				TB: s.tb, Managers: []*resex.Manager{s.mgr},
 				Monitors: []*ibmon.Monitor{s.mon},
 				SimPar:   s.h, Auditor: a,
+			})
+		}
+	}
+	return func() {
+		for _, stop := range stops {
+			stop()
+		}
+	}
+}
+
+// auditGeo is auditSimPar for the geo-diurnal ring: one auditor and one
+// snapshot arm per zone engine, in physical ring order (arm ordinals follow
+// construction; the per-slot outcomes the metamorphic test compares never
+// depend on them).
+func (o Options) auditGeo(f *GeoFleet) func() {
+	var stops []func()
+	for _, z := range f.zones {
+		var a *invariant.Auditor
+		if o.Audit != nil {
+			a = invariant.New(z.tb.Eng, o.Audit)
+			for _, h := range z.tb.Hosts {
+				a.WatchXen(h.HV)
+				a.WatchHCA(h.HCA)
+			}
+			a.WatchManager(z.mgr)
+			stops = append(stops, a.Close)
+		}
+		if o.Checkpoint != nil {
+			o.Checkpoint.Arm(z.tb.Eng, o.PointSeed, &snapshot.Source{
+				TB: z.tb, Managers: []*resex.Manager{z.mgr},
+				Monitors: []*ibmon.Monitor{z.mon},
+				SimPar:   z.h, Auditor: a,
 			})
 		}
 	}

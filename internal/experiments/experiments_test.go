@@ -267,7 +267,7 @@ func TestFig9Shape(t *testing.T) {
 
 func TestRegistry(t *testing.T) {
 	ids := IDs()
-	if len(ids) != 23 { // 9 figures + 10 ablations + 3 workload studies + softrt
+	if len(ids) != 26 { // 9 figures + 13 ablations + 3 workload studies + softrt
 		t.Fatalf("IDs = %v", ids)
 	}
 	if !sort.StringsAreSorted(ids) {

@@ -64,6 +64,12 @@ func init() {
 		func(o Options) (Result, error) { return AblShardSched(o) })
 	register("abl-simpar", "SimPar: host-sharded conservative simulation, determinism across shard counts",
 		func(o Options) (Result, error) { return AblSimPar(o) })
+	register("abl-scaleset", "ScaleSet: gang-placed scale-sets, all-or-nothing admission vs shard count",
+		func(o Options) (Result, error) { return AblScaleSet(o) })
+	register("abl-geodiurnal", "GeoDiurnal: phase-shifted diurnal zones over the simpar backbone, sun-chasing rebalancer",
+		func(o Options) (Result, error) { return AblGeoDiurnal(o) })
+	register("abl-mixedcrit", "MixedCrit: memory-bandwidth third dimension on a mixed-criticality host",
+		func(o Options) (Result, error) { return AblMixedCrit(o) })
 	register("softrt", "Extension: soft-real-time stream deadline misses",
 		func(o Options) (Result, error) { return SoftRT(o) })
 }

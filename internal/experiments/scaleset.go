@@ -1,0 +1,303 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"resex/internal/schedshard"
+	"resex/internal/sim"
+	"resex/internal/workload"
+)
+
+// ---------------------------------------------------------------------------
+// abl-scaleset: gang-placed scale-sets through the optimistic multi-shard
+// scheduler — the all-or-nothing admission table.
+//
+// The arrival stream mixes arktos-style scale-sets (N identical VMs that
+// must bind atomically; see workload.ScaleSetSpec and
+// schedshard.Scheduler.EnqueueGang) with singleton VMs of the abl-placement
+// mix. The sweep drives the identical seeded stream through 1..16 logical
+// shards in both tie-break modes: more shards mean more optimistic
+// collisions, and a colliding gang loses *whole* — every member requeues and
+// the gang retries as a unit against the refreshed snapshot. The table's
+// SLO is admission: attain% is the fraction of gangs eventually placed, and
+// the partial column — gangs observed committed at partial strength — must
+// read 0 at every width (the invariant auditor's gang-atomicity predicate
+// checks the same thing continuously under -audit).
+// ---------------------------------------------------------------------------
+
+// AblScaleSetRow is one (mode, shard count) outcome over the synthetic
+// fleet.
+type AblScaleSetRow struct {
+	// Mode is the score-tie-break policy, exactly as in abl-shardsched:
+	// "naive" herds, "avoid" rotates per shard.
+	Mode string
+	// Shards is the logical shard count (the semantic axis).
+	Shards int
+	// Rounds is how many propose→merge→commit cycles draining the stream
+	// took.
+	Rounds uint64
+	// Placed and Failed partition the individual binds (gang members and
+	// singletons alike).
+	Placed int
+	Failed int
+	// GangsPlaced/GangsFailed/GangsPartial are the scheduler's lifetime gang
+	// accounting: placed whole, declared unplaceable, or — the invariant
+	// violation this table exists to rule out — committed at partial
+	// strength. Partial must be 0 in every row.
+	GangsPlaced  uint64
+	GangsFailed  uint64
+	GangsPartial uint64
+	// AttainPct is gang admission attainment: placed gangs over all gangs.
+	AttainPct float64
+	// Conflicts counts binds rejected at commit (a whole gang rejection
+	// counts every member); ConflictPct is conflicts over all proposals.
+	Conflicts   uint64
+	ConflictPct float64
+	// Retries counts requeued requests (conflict losers + starved, gang
+	// members individually).
+	Retries uint64
+	// BindFNV fingerprints the full bind sequence, hex — compared across
+	// worker counts and restore paths by the determinism gates.
+	BindFNV string
+}
+
+// AblScaleSetResult is the admission table across shard counts and modes.
+type AblScaleSetResult struct {
+	Hosts   int
+	Gangs   int
+	GangVMs int
+	Singles int
+	Rows    []AblScaleSetRow
+}
+
+// Title implements Result.
+func (r *AblScaleSetResult) Title() string {
+	return "ScaleSet: gang-placed scale-sets, all-or-nothing admission vs shard count"
+}
+
+// WriteText implements Result.
+func (r *AblScaleSetResult) WriteText(w io.Writer) error {
+	fmt.Fprintf(w, "%s (%d hosts, %d gangs / %d gang VMs, %d singletons)\n\n%-6s %7s %7s %7s %7s %7s %7s %8s %8s %10s %10s %8s %17s\n",
+		r.Title(), r.Hosts, r.Gangs, r.GangVMs, r.Singles,
+		"mode", "shards", "rounds", "placed", "failed",
+		"gangs+", "gangs-", "partial", "attain%", "conflicts", "conflict%", "retries", "bind-fnv")
+	for _, row := range r.Rows {
+		fmt.Fprintf(w, "%-6s %7d %7d %7d %7d %7d %7d %8d %8.1f %10d %10.2f %8d %17s\n",
+			row.Mode, row.Shards, row.Rounds, row.Placed, row.Failed,
+			row.GangsPlaced, row.GangsFailed, row.GangsPartial, row.AttainPct,
+			row.Conflicts, row.ConflictPct, row.Retries, row.BindFNV)
+	}
+	return nil
+}
+
+// WriteCSV implements Result.
+func (r *AblScaleSetResult) WriteCSV(w io.Writer) error {
+	fmt.Fprintln(w, "mode,shards,rounds,placed,failed,gangs_placed,gangs_failed,gangs_partial,attain_pct,conflicts,conflict_pct,retries,bind_fnv")
+	for _, row := range r.Rows {
+		fmt.Fprintf(w, "%s,%d,%d,%d,%d,%d,%d,%d,%g,%d,%g,%d,%s\n",
+			row.Mode, row.Shards, row.Rounds, row.Placed, row.Failed,
+			row.GangsPlaced, row.GangsFailed, row.GangsPartial, row.AttainPct,
+			row.Conflicts, row.ConflictPct, row.Retries, row.BindFNV)
+	}
+	return nil
+}
+
+// scaleSetScale sizes the synthetic fleet from the run duration, exactly as
+// shardSchedScale does: the full 2 s window gets 600 hosts; short CI and
+// resume-sweep windows scale down proportionally (floor 64).
+func scaleSetScale(o Options) int {
+	frac := float64(o.Duration) / float64(2*sim.Second)
+	if frac > 1 {
+		frac = 1
+	}
+	hosts := int(600*frac + 0.5)
+	if hosts < 64 {
+		hosts = 64
+	}
+	return hosts
+}
+
+// scaleSetSizes is the gang-size cycle: small web tiers through chunky
+// 24-member batch sets, so rounds carry gangs that fit one host's headroom
+// next to gangs that must span several.
+var scaleSetSizes = []int{4, 8, 12, 16, 24}
+
+// scaleSetItem is one arrival: a whole scale-set (set != nil) or a
+// singleton of the abl-placement mix.
+type scaleSetItem struct {
+	set    *workload.ScaleSetSpec
+	single shardSchedArrival
+}
+
+// scaleSetArrivals builds the arrival stream: scale-sets cycling through
+// scaleSetSizes (every third one a large-buffer bulk tier) interleaved with
+// two singletons each, filling ~80% of the fleet's guest slots, then
+// shuffled with the same seed for every sweep point — every (mode, shards)
+// cell places the identical stream, so the table isolates the scheduler.
+func scaleSetArrivals(hosts int, seed int64) (items []scaleSetItem, gangs, gangVMs, singles int) {
+	budget := hosts * shardSchedPCPUs * 4 / 5
+	used := 0
+	nLS, nBulk := 0, 0
+	for used < budget {
+		size := scaleSetSizes[gangs%len(scaleSetSizes)]
+		set := &workload.ScaleSetSpec{
+			Name: fmt.Sprintf("set%d", gangs), Size: size,
+			LatencySensitive: true, BufferSize: BaseBuffer,
+			BytesPerSec: 2e6, MTUsPerSec: 2e6 / 1024,
+		}
+		if gangs%3 == 2 {
+			set.LatencySensitive = false
+			set.BufferSize = IntfBuffer
+			set.BytesPerSec, set.MTUsPerSec = 60e6, 60e6/1024
+		}
+		items = append(items, scaleSetItem{set: set})
+		gangs++
+		gangVMs += size
+		used += size
+		for k := 0; k < 2 && used < budget; k++ {
+			var a shardSchedArrival
+			if singles%4 == 3 {
+				spec := schedshard.Spec{Name: fmt.Sprintf("solo-bulk%d", nBulk), BufferSize: IntfBuffer}
+				a = shardSchedArrival{spec: spec, vm: schedshard.VMInfo{
+					Spec: spec, BytesPerSec: 60e6, MTUsPerSec: 60e6 / 1024, BufferSize: IntfBuffer,
+				}}
+				nBulk++
+			} else {
+				spec := schedshard.Spec{Name: fmt.Sprintf("solo-ls%d", nLS), LatencySensitive: true, BufferSize: BaseBuffer}
+				a = shardSchedArrival{spec: spec, vm: schedshard.VMInfo{
+					Spec: spec, BytesPerSec: 2e6, MTUsPerSec: 2e6 / 1024, BufferSize: BaseBuffer,
+				}}
+				nLS++
+			}
+			items = append(items, scaleSetItem{single: a})
+			singles++
+			used++
+		}
+	}
+	rng := sim.NewRand(seed ^ 0x5ca1e5e7)
+	for i := len(items) - 1; i > 0; i-- {
+		j := rng.Intn(i + 1)
+		items[i], items[j] = items[j], items[i]
+	}
+	return items, gangs, gangVMs, singles
+}
+
+// runScaleSetPoint drives one (mode, shards) cell, with the same ticked
+// wave/drain shape as runShardSchedPoint so the snapshot breakpoint sees a
+// mid-drain scheduler.
+func runScaleSetPoint(o Options, shards int, avoid bool) (AblScaleSetRow, error) {
+	mode := "naive"
+	if avoid {
+		mode = "avoid"
+	}
+	hosts := scaleSetScale(o)
+	row := AblScaleSetRow{Mode: mode, Shards: shards}
+
+	eng := sim.New()
+	store := schedshard.NewStore()
+	store.Publish(shardSchedHosts(hosts))
+	sched := schedshard.NewScheduler(store, schedshard.Config{
+		Shards:         shards,
+		Workers:        o.ShardWorkers,
+		Seed:           o.Seed,
+		AvoidConflicts: avoid,
+	})
+	stopAudit := o.auditShardSched(eng, sched)
+
+	items, gangs, _, _ := scaleSetArrivals(hosts, o.Seed)
+	perWave := (len(items) + shardSchedWaves - 1) / shardSchedWaves
+	wave := 0
+	enqueueWave := func() {
+		// Items are arrival units (a whole gang is one), so the list can be
+		// shorter than waves²/waves — clamp both ends.
+		lo := wave * perWave
+		if lo > len(items) {
+			lo = len(items)
+		}
+		hi := lo + perWave
+		if hi > len(items) {
+			hi = len(items)
+		}
+		for _, it := range items[lo:hi] {
+			if it.set != nil {
+				workload.EnqueueScaleSet(sched, *it.set)
+			} else {
+				sched.Enqueue(it.single.spec, it.single.vm)
+			}
+		}
+		wave++
+	}
+
+	window := o.Warmup + o.Duration
+	tick := window / 48
+	if tick <= 0 {
+		tick = 1
+	}
+	var step func()
+	step = func() {
+		if wave < shardSchedWaves {
+			enqueueWave()
+		}
+		sched.Round()
+		if wave < shardSchedWaves || sched.PendingLen() > 0 {
+			eng.After(tick, step)
+		}
+	}
+	eng.After(tick, step)
+	eng.RunUntil(window)
+	stopAudit()
+	for wave < shardSchedWaves {
+		enqueueWave()
+		sched.Round()
+	}
+	sched.Run()
+	eng.Shutdown()
+
+	row.Rounds = sched.Rounds()
+	row.Placed = len(sched.Bound())
+	row.Failed = len(sched.Failed())
+	gs := sched.Gangs()
+	row.GangsPlaced, row.GangsFailed, row.GangsPartial = gs.Placed, gs.Failed, gs.Partial
+	if gangs > 0 {
+		row.AttainPct = 100 * float64(gs.Placed) / float64(gangs)
+	}
+	row.Conflicts = sched.Conflicts()
+	if total := uint64(row.Placed) + row.Conflicts; total > 0 {
+		row.ConflictPct = 100 * float64(row.Conflicts) / float64(total)
+	}
+	row.Retries = sched.Retries()
+	row.BindFNV = fmt.Sprintf("%016x", sched.BindFNV())
+	return row, nil
+}
+
+// AblScaleSet runs the (mode × shard count) grid over the gang-heavy
+// stream. One logical shard is the serial scheduler — zero conflicts, every
+// gang placed first try; the curve shows what gang atomicity costs under
+// optimistic concurrency (a 24-member gang is 24 chances to collide and one
+// collision requeues all 24) and that the partial column stays pinned at 0
+// regardless.
+func AblScaleSet(o Options) (*AblScaleSetResult, error) {
+	o = o.WithDefaults()
+	hosts := scaleSetScale(o)
+	_, gangs, gangVMs, singles := scaleSetArrivals(hosts, o.Seed)
+	var points []SweepPoint[AblScaleSetRow]
+	for _, avoid := range []bool{false, true} {
+		for _, shards := range []int{1, 2, 4, 8, 16} {
+			avoid, shards := avoid, shards
+			mode := "naive"
+			if avoid {
+				mode = "avoid"
+			}
+			points = append(points, Point(fmt.Sprintf("%s s=%d", mode, shards),
+				func(o Options) (AblScaleSetRow, error) {
+					return runScaleSetPoint(o, shards, avoid)
+				}))
+		}
+	}
+	rows, err := RunSweep(o, points)
+	if err != nil {
+		return nil, err
+	}
+	return &AblScaleSetResult{Hosts: hosts, Gangs: gangs, GangVMs: gangVMs, Singles: singles, Rows: rows}, nil
+}

@@ -8,6 +8,7 @@ import (
 	"resex/internal/hca"
 	"resex/internal/resex"
 	"resex/internal/resos"
+	"resex/internal/schedshard"
 	"resex/internal/sim"
 	"resex/internal/workload"
 	"resex/internal/xen"
@@ -46,11 +47,12 @@ type Auditor struct {
 	lastAt  sim.Time
 	lastSeq uint64
 
-	hvs   []*hvWatch
-	hcas  []*hca.HCA
-	mgrs  []*resex.Manager
-	wls   []*workload.Engine
-	books []*exchange.Book
+	hvs    []*hvWatch
+	hcas   []*hca.HCA
+	mgrs   []*resex.Manager
+	wls    []*workload.Engine
+	books  []*exchange.Book
+	scheds []*schedWatch
 
 	// fleetNet accumulates the per-dimension net of every settled trade
 	// across all watched books. Each host's report must net to zero on its
@@ -71,6 +73,13 @@ type Auditor struct {
 // hvWatch pairs a hypervisor with its per-domain baselines.
 type hvWatch struct {
 	hv *xen.Hypervisor
+}
+
+// schedWatch pairs a shard scheduler with its incremental scan position
+// over the committed-bind log.
+type schedWatch struct {
+	s    *schedshard.Scheduler
+	seen int // binds of s.Bound() already scanned
 }
 
 // domState is the per-domain baseline from the last predicate pass.
@@ -132,6 +141,16 @@ func (a *Auditor) WatchManager(m *resex.Manager) {
 // WatchWorkload adds a workload engine: SLO window bookkeeping over every
 // tenant.
 func (a *Auditor) WatchWorkload(e *workload.Engine) { a.wls = append(a.wls, e) }
+
+// WatchSched adds a shard scheduler: the gang-atomicity predicate. Every
+// committed gang must appear in the bind log with exactly GangSize members
+// — a gang count in (0, GangSize) means CommitRound published a partial
+// scale-set, which the all-or-nothing contract forbids. The log is scanned
+// incrementally (new binds since the last pass), and the scheduler's own
+// partial counter is cross-checked.
+func (a *Auditor) WatchSched(s *schedshard.Scheduler) {
+	a.scheds = append(a.scheds, &schedWatch{s: s})
+}
 
 // WatchBook adds an exchange trade book: the trade-conservation predicate.
 // Every epoch settlement's trades must net to zero per dimension on the
@@ -208,6 +227,45 @@ func (a *Auditor) sample() {
 	}
 	for _, bk := range a.books {
 		a.checkBook(bk)
+	}
+	for _, w := range a.scheds {
+		a.checkSched(w)
+	}
+}
+
+// checkSched runs the gang-atomicity predicate over binds committed since
+// the last pass. Gangs commit atomically within a single round, so whole
+// gangs land in the log between any two passes: a contiguous same-Gang run
+// shorter than its GangSize is a violation. The scan never splits a gang
+// across passes — the tail is deferred until the run is provably complete
+// (a later-keyed or gang-less bind follows it, or the gang reached full
+// size).
+func (a *Auditor) checkSched(w *schedWatch) {
+	a.checks++
+	bound := w.s.Bound()
+	for w.seen < len(bound) {
+		b := bound[w.seen]
+		if b.Gang == 0 {
+			w.seen++
+			continue
+		}
+		j := w.seen + 1
+		for j < len(bound) && bound[j].Gang == b.Gang {
+			j++
+		}
+		n := j - w.seen
+		if n < b.GangSize && j == len(bound) {
+			return // run may still be mid-append; re-examine next pass
+		}
+		if n != b.GangSize {
+			a.violate("gang-atomicity", b.VM.Spec.Name,
+				fmt.Sprintf("gang %d committed %d of %d members", b.Gang, n, b.GangSize))
+		}
+		w.seen = j
+	}
+	if g := w.s.Gangs(); g.Partial != 0 {
+		a.violate("gang-atomicity", "scheduler",
+			fmt.Sprintf("scheduler reports %d partially committed gangs", g.Partial))
 	}
 }
 

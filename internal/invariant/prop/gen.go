@@ -17,6 +17,7 @@ import (
 	"resex/internal/faults"
 	"resex/internal/invariant"
 	"resex/internal/placement"
+	"resex/internal/schedshard"
 	"resex/internal/sim"
 	"resex/internal/workload"
 )
@@ -80,6 +81,85 @@ func Tenants(rng *sim.Rand, n int) []workload.TenantSpec {
 		specs = append(specs, spec)
 	}
 	return specs
+}
+
+// MixedTenants draws a mixed-criticality tenant pair sharing one host: a
+// latency-sensitive critical tenant whose memory traffic is a page per
+// request, and a best-effort bulk mover whose per-request memory footprint
+// is drawn from memSizes — the third-dimension demand the DimMemBW economy
+// prices. With every footprint zero the rig degenerates to the ordinary
+// two-dimension fleet, which is exactly the axis the membw no-op metamorphic
+// relation flips.
+func MixedTenants(rng *sim.Rand, bulkMemPerReq int) []workload.TenantSpec {
+	return []workload.TenantSpec{
+		{
+			Name:             "crit",
+			Closed:           workload.ClosedLoop{Concurrency: 1 + rng.Intn(2)},
+			SLAUs:            250 + float64(rng.Intn(200)),
+			LatencySensitive: true,
+			Share:            3,
+			MemBytesPerReq:   4 << 10,
+			Seed:             1 + rng.Int63n(1<<30),
+		},
+		{
+			Name:           "bulk",
+			BufferSize:     64 << 10,
+			Arrivals:       workload.Poisson{Rate: 150 + float64(rng.Intn(150))},
+			Window:         8,
+			MemBytesPerReq: bulkMemPerReq,
+			Seed:           1 + rng.Int63n(1<<30),
+		},
+	}
+}
+
+// ScaleSets draws n scale-set arrivals for the gang scheduler: sizes from a
+// couple of members up to chunky sets that must span hosts, a mix of
+// latency-sensitive web tiers and big-buffer bulk tiers, with the occasional
+// declared memory-bandwidth demand for mixed-criticality fleets.
+func ScaleSets(rng *sim.Rand, n int) []workload.ScaleSetSpec {
+	sets := make([]workload.ScaleSetSpec, 0, n)
+	for i := 0; i < n; i++ {
+		s := workload.ScaleSetSpec{
+			Name:             fmt.Sprintf("set%d", i),
+			Size:             2 + rng.Intn(12),
+			LatencySensitive: true,
+			BufferSize:       64 << 10,
+			BytesPerSec:      2e6,
+			MTUsPerSec:       2e6 / 1024,
+		}
+		if rng.Intn(3) == 0 {
+			s.LatencySensitive = false
+			s.BufferSize = 2 << 20
+			s.BytesPerSec, s.MTUsPerSec = 60e6, 60e6/1024
+		}
+		if rng.Intn(4) == 0 {
+			s.MemBytesPerSec = float64(1+rng.Intn(50)) * 1e6
+		}
+		sets = append(sets, s)
+	}
+	return sets
+}
+
+// GangFleet draws the synthetic host fleet a gang-placement property runs
+// against: a host count and per-host headroom tight enough that gangs
+// genuinely fight for PCPUs across shards, every host with an uplink, and —
+// half the time — a memory-bandwidth capacity so the third commit dimension
+// is exercised too.
+func GangFleet(rng *sim.Rand) []*schedshard.HostInfo {
+	n := 4 + rng.Intn(12)
+	free := 4 + rng.Intn(28)
+	membw := 0.0
+	if rng.Intn(2) == 0 {
+		membw = 400e6
+	}
+	hosts := make([]*schedshard.HostInfo, n)
+	for i := range hosts {
+		hosts[i] = &schedshard.HostInfo{
+			Node: i + 1, FreePCPUs: free, TotalPCPUs: free,
+			LinkBytesPerSec: 1e9, MemBWBytesPerSec: membw, ResoHeadroom: 1,
+		}
+	}
+	return hosts
 }
 
 // FaultPlan draws a correlated storm schedule over the given hosts and

@@ -1,0 +1,94 @@
+package placement
+
+// SunChaser is the geo-diurnal rebalancing policy: a fleet of availability
+// zones whose offered load peaks at phase-shifted times of day (each zone's
+// diurnal curve is the same shape, rotated), and a pool of movable capacity
+// units (spare VMs, batch workers, burst entitlement) that should sit where
+// the sun is — on the zones currently under peak pressure.
+//
+// Rebalance is intentionally minimal and exactly rotation-equivariant: feed
+// it per-zone pressure vectors that are rotations of each other and the
+// unit assignment rotates identically (the geo-diurnal metamorphic test
+// pins this). That property needs two details most greedy balancers get
+// wrong:
+//
+//   - stay-put ties: a unit only moves to a zone *strictly* more pressured
+//     than its current one, so equal-pressure plateaus produce no movement
+//     (a tie broken toward "lowest zone id" would break equivariance: zone
+//     ids are labels, not geography);
+//   - ring-scan from the successor: among equally-pressured best zones the
+//     winner is the first one scanning the ring from the unit's current
+//     zone + 1, never from zone 0.
+//
+// The type is plain deterministic state — no clocks, no randomness — so it
+// composes with the simpar backbone's boundary callbacks.
+type SunChaser struct {
+	zones int
+	units []int // unit -> current zone
+	moves int64
+	stays int64
+}
+
+// NewSunChaser places units round-robin across zones (unit i in zone
+// i mod zones) — a rotation-symmetric initial assignment.
+func NewSunChaser(zones, units int) *SunChaser {
+	if zones < 1 {
+		zones = 1
+	}
+	if units < 0 {
+		units = 0
+	}
+	s := &SunChaser{zones: zones, units: make([]int, units)}
+	for i := range s.units {
+		s.units[i] = i % zones
+	}
+	return s
+}
+
+// Zones and Units return the topology.
+func (s *SunChaser) Zones() int { return s.zones }
+
+// Units returns the unit→zone assignment. Callers must not modify it.
+func (s *SunChaser) Units() []int { return s.units }
+
+// Moves and Stays count rebalance decisions over the chaser's lifetime.
+func (s *SunChaser) Moves() int64 { return s.moves }
+func (s *SunChaser) Stays() int64 { return s.stays }
+
+// ZoneCounts tallies units per zone.
+func (s *SunChaser) ZoneCounts() []int {
+	counts := make([]int, s.zones)
+	for _, z := range s.units {
+		counts[z]++
+	}
+	return counts
+}
+
+// Rebalance runs one pass against the current per-zone pressure (len must
+// be Zones; higher = more loaded). Every unit independently chases the
+// most-pressured zone, moving only when that zone is strictly more
+// pressured than where the unit already is. Returns how many units moved.
+func (s *SunChaser) Rebalance(pressure []float64) int {
+	if len(pressure) != s.zones {
+		return 0
+	}
+	moved := 0
+	for i, cur := range s.units {
+		best, bestP := cur, pressure[cur]
+		// Ring scan from the successor zone: label-independent tie-break.
+		for k := 1; k < s.zones; k++ {
+			z := (cur + k) % s.zones
+			if pressure[z] > bestP {
+				best, bestP = z, pressure[z]
+			}
+		}
+		if best != cur {
+			s.units[i] = best
+			s.moves++
+			moved++
+		} else {
+			s.stays++
+		}
+	}
+	return moved
+}

@@ -1,0 +1,120 @@
+package placement
+
+import (
+	"math"
+	"testing"
+)
+
+// TestSunChaserChasesPeak: every unit converges on the single most
+// pressured zone in one pass.
+func TestSunChaserChasesPeak(t *testing.T) {
+	s := NewSunChaser(4, 8)
+	moved := s.Rebalance([]float64{0.2, 0.9, 0.4, 0.1})
+	if moved != 6 { // the two units already in zone 1 stay
+		t.Fatalf("moved %d units, want 6", moved)
+	}
+	counts := s.ZoneCounts()
+	if counts[1] != 8 {
+		t.Fatalf("zone counts %v, want all 8 in zone 1", counts)
+	}
+	if s.Stays() != 2 {
+		t.Fatalf("stays %d, want 2", s.Stays())
+	}
+}
+
+// TestSunChaserStaysOnPlateau: uniform pressure moves nothing — ties never
+// cause churn toward low zone ids.
+func TestSunChaserStaysOnPlateau(t *testing.T) {
+	s := NewSunChaser(5, 10)
+	before := append([]int(nil), s.Units()...)
+	if moved := s.Rebalance([]float64{0.5, 0.5, 0.5, 0.5, 0.5}); moved != 0 {
+		t.Fatalf("uniform pressure moved %d units, want 0", moved)
+	}
+	for i, z := range s.Units() {
+		if z != before[i] {
+			t.Fatalf("unit %d moved %d -> %d on a plateau", i, before[i], z)
+		}
+	}
+}
+
+// TestSunChaserRotationEquivariance: rotating the pressure vector (and the
+// initial assignment) rotates the outcome identically — zone ids are
+// labels, not geography. This is the property the geo-diurnal metamorphic
+// test leans on at the experiment level.
+func TestSunChaserRotationEquivariance(t *testing.T) {
+	const zones, units = 6, 9
+	pressure := []float64{0.3, 0.8, 0.8, 0.1, 0.5, 0.7}
+	for shift := 0; shift < zones; shift++ {
+		a := NewSunChaser(zones, units)
+		b := NewSunChaser(zones, units)
+		for i := range b.Units() {
+			b.Units()[i] = (a.Units()[i] + shift) % zones
+		}
+		rot := make([]float64, zones)
+		for z := range rot {
+			rot[(z+shift)%zones] = pressure[z]
+		}
+		a.Rebalance(pressure)
+		b.Rebalance(rot)
+		for i := range a.Units() {
+			if want := (a.Units()[i] + shift) % zones; b.Units()[i] != want {
+				t.Fatalf("shift %d: unit %d landed in zone %d, want %d (unrotated: %d)",
+					shift, i, b.Units()[i], want, a.Units()[i])
+			}
+		}
+	}
+}
+
+// TestSunChaserFollowsDiurnalPeaks: zones with phase-shifted diurnal
+// pressure curves. As simulated time advances the peak walks around the
+// ring, and the chaser's units walk with it — migration pressure follows
+// the sun.
+func TestSunChaserFollowsDiurnalPeaks(t *testing.T) {
+	const zones, units = 4, 8
+	s := NewSunChaser(zones, units)
+	pressureAt := func(frac float64) []float64 {
+		p := make([]float64, zones)
+		for z := range p {
+			phase := 2 * math.Pi * float64(z) / zones
+			p[z] = 1 + 0.5*math.Sin(2*math.Pi*frac-phase)
+		}
+		return p
+	}
+	peakOf := func(p []float64) int {
+		best := 0
+		for z := 1; z < len(p); z++ {
+			if p[z] > p[best] {
+				best = z
+			}
+		}
+		return best
+	}
+	var lastPeak = -1
+	var peakChanges, movedTotal int
+	for step := 0; step < 16; step++ {
+		p := pressureAt(float64(step) / 16)
+		moved := s.Rebalance(p)
+		movedTotal += moved
+		peak := peakOf(p)
+		if peak != lastPeak {
+			peakChanges++
+			lastPeak = peak
+		}
+		for _, z := range s.Units() {
+			// A unit must sit at max pressure; when two zones tie at the
+			// peak (the sinusoid crossing), staying in either is correct.
+			if p[z] != p[peak] {
+				t.Fatalf("step %d: unit in zone %d while peak is %d (pressure %v)", step, z, peak, p)
+			}
+		}
+	}
+	if peakChanges < zones {
+		t.Fatalf("peak visited %d zones over the cycle, want at least %d", peakChanges, zones)
+	}
+	if movedTotal == 0 {
+		t.Fatal("no migrations over a full diurnal cycle")
+	}
+	if s.Moves() != int64(movedTotal) {
+		t.Fatalf("Moves() %d != moved sum %d", s.Moves(), movedTotal)
+	}
+}

@@ -286,6 +286,55 @@ func RenderSVG(res experiments.Result) (string, error) {
 		return LineChart("SimPar: executed events vs fleet size per shard count",
 			"sites", "events (millions)", order), nil
 
+	case *experiments.AblScaleSetResult:
+		byMode := map[string]*stats.Series{}
+		var order []*stats.Series
+		for _, row := range r.Rows {
+			s := byMode[row.Mode]
+			if s == nil {
+				s = stats.NewSeries(row.Mode)
+				byMode[row.Mode] = s
+				order = append(order, s)
+			}
+			s.Add(float64(row.Shards), row.ConflictPct)
+		}
+		return LineChart("ScaleSet: gang conflict rate vs shard count (admission 100%, partials 0)",
+			"logical shards", "conflict rate (%)", order), nil
+
+	case *experiments.AblGeoDiurnalResult:
+		// One series per shard count; exact overlap is the determinism
+		// result, as in abl-simpar.
+		byShards := map[int]*stats.Series{}
+		var order []*stats.Series
+		for _, c := range r.Cells {
+			s := byShards[c.Shards]
+			if s == nil {
+				s = stats.NewSeries(fmt.Sprintf("%d shards", c.Shards))
+				byShards[c.Shards] = s
+				order = append(order, s)
+			}
+			for _, z := range c.PerZone {
+				s.Add(float64(z.Slot), float64(z.Received))
+			}
+		}
+		return LineChart("GeoDiurnal: per-slot received load per shard count",
+			"diurnal slot", "requests received", order), nil
+
+	case *experiments.AblMixedCritResult:
+		byMode := map[string]*stats.Series{}
+		var order []*stats.Series
+		for _, row := range r.Rows {
+			s := byMode[row.Mode]
+			if s == nil {
+				s = stats.NewSeries(row.Mode)
+				byMode[row.Mode] = s
+				order = append(order, s)
+			}
+			s.Add(float64(row.PressPct), row.AttainPct)
+		}
+		return LineChart("MixedCrit: critical SLO attainment vs memory pressure",
+			"offered memory traffic (% of budget)", "SLO attainment (%)", order), nil
+
 	case *experiments.SoftRTResult:
 		groups := make([]string, 0, len(r.Rows))
 		vals := make([][]float64, 0, len(r.Rows))

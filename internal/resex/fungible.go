@@ -118,10 +118,24 @@ func (f *Fungible) baseGrant(m *Manager, vm *ManagedVM) exchange.Vec {
 	if c := f.Exchange.Capacity[exchange.DimFabric]; c > 0 {
 		io = c
 	}
-	return exchange.Vec{
+	v := exchange.Vec{
 		exchange.DimCPU:    m.cfg.Supply.CPUAllocation(),
 		exchange.DimFabric: io * resos.Amount(vm.share) / resos.Amount(total),
 	}
+	// The memory-bandwidth dimension only exists on hosts that declare a
+	// physical per-epoch capacity for it (mixed-criticality fleets); without
+	// one, grants stay zero and the dimension is inert end to end.
+	if c := f.Exchange.Capacity[exchange.DimMemBW]; c > 0 {
+		v[exchange.DimMemBW] = c * resos.Amount(vm.share) / resos.Amount(total)
+	}
+	return v
+}
+
+// membwActive reports whether this host prices memory bandwidth: a physical
+// DimMemBW capacity is configured, so grants exist and overdrafts in the
+// dimension are enforceable.
+func (f *Fungible) membwActive() bool {
+	return f.Exchange.Capacity[exchange.DimMemBW] > 0
 }
 
 // holder returns the VM's book position, joining it on first sight (a VM
@@ -139,12 +153,23 @@ func (f *Fungible) holder(m *Manager, vm *ManagedVM) *exchange.Holder {
 func (f *Fungible) Interval(m *Manager, d *IntervalData) {
 	frac := m.EpochFraction()
 	price := f.Book().Board().Price(exchange.DimFabric)
+	membw := f.membwActive()
+	var memPrice float64
+	if membw {
+		memPrice = f.book.Board().Price(exchange.DimMemBW)
+	}
 	for i := range d.VMs {
 		t := &d.VMs[i]
 		vm := t.VM
 		h := f.holder(m, vm)
 		f.book.Spend(h, exchange.DimCPU, vm.Account.ChargeCPU(t.CPUPct, 1))
 		f.book.Spend(h, exchange.DimFabric, vm.Account.ChargeIO(t.MTUs, 1))
+		// Memory-bandwidth spend is book-settled only: it never touches the
+		// VM's Reso account, so the account-conservation identity (charges =
+		// CPU + IO charges) is untouched by the third dimension.
+		if membw {
+			f.book.Spend(h, exchange.DimMemBW, resos.Amount(t.MemUnits))
+		}
 		if m.applyLowResoDecay(vm) {
 			continue
 		}
@@ -161,8 +186,26 @@ func (f *Fungible) Interval(m *Manager, d *IntervalData) {
 		} else if spent == 0 {
 			over = 0
 		}
+		// On mixed-criticality hosts, a congestion-priced memory-bandwidth
+		// overdraft is enforced through the same CPU-cap lever — the
+		// hypervisor has no finer control over memory traffic than over
+		// bypass I/O (H-MBR's premise). Inactive hosts skip all of this, so
+		// two-dimension fleets take byte-identical decisions.
+		memEnforce, memHold := false, false
+		if membw {
+			memPace := float64(h.Entitlement(exchange.DimMemBW)) * frac * f.OverdraftSlack
+			memSpent := float64(h.Spent(exchange.DimMemBW))
+			overMem := f.MaxRate
+			if memPace > 0 {
+				overMem = memSpent / memPace
+			} else if memSpent == 0 {
+				overMem = 0
+			}
+			memEnforce = memPrice >= f.EnforcePrice && overMem > 1
+			memHold = memPrice >= f.ReleasePrice
+		}
 		switch {
-		case price >= f.EnforcePrice && over > 1:
+		case (price >= f.EnforcePrice && over > 1) || memEnforce:
 			if !m.AllowTighten(vm) {
 				continue // stale telemetry: hold the last-known cap
 			}
@@ -171,7 +214,7 @@ func (f *Fungible) Interval(m *Manager, d *IntervalData) {
 				vm.rate = f.MaxRate
 			}
 			m.ApplyCap(vm, 100/vm.rate)
-		case price >= f.ReleasePrice:
+		case price >= f.ReleasePrice || memHold:
 			// Inside the hysteresis band: hold the elevated rate. Relaxing
 			// on the pace alone re-releases the backlog the cap holds back.
 		case vm.rate > 1:

@@ -125,6 +125,8 @@ type ManagedVM struct {
 	cap        float64 // cap ResEx wants, percent; 100 = uncapped
 	capForced  bool    // cap is currently enforced (vs. left uncapped)
 	share      int     // Reso allocation weight (priority); default 1
+	memMeter   func() int64
+	lastMem    int64
 	lastMTUs   int64
 	mtuEwma    float64 // smoothed MTUs/interval, for robust attribution
 	lastCPU    sim.Time
@@ -172,10 +174,13 @@ func (v *ManagedVM) Confidence() float64 { return v.confidence }
 
 // VMTick is one VM's usage during one interval, as the policy sees it.
 type VMTick struct {
-	VM      *ManagedVM
-	MTUs    int64   // MTUs sent this interval (IBMon estimate)
-	CPUPct  float64 // CPU percent consumed this interval (XenStat)
-	Latency LatencyWindow
+	VM     *ManagedVM
+	MTUs   int64   // MTUs sent this interval (IBMon estimate)
+	CPUPct float64 // CPU percent consumed this interval (XenStat)
+	// MemUnits is memory-bandwidth consumed this interval, in 4 KiB units
+	// (the DimMemBW Reso). Zero unless the VM has a meter (SetMemMeter).
+	MemUnits int64
+	Latency  LatencyWindow
 	// Confidence is the IBMon telemetry confidence behind MTUs (see
 	// ManagedVM.Confidence); 0 during a host telemetry blackout.
 	Confidence float64
@@ -417,6 +422,21 @@ func (m *Manager) SetShare(vm *ManagedVM, share int) {
 // Share returns the VM's allocation weight.
 func (v *ManagedVM) Share() int { return v.share }
 
+// SetMemMeter attaches a memory-bandwidth meter to a managed VM: a
+// deterministic function returning the VM's cumulative memory traffic in
+// 4 KiB units (the DimMemBW Reso — per H-MBR, the hypervisor observes
+// memory-bandwidth consumption out of band, so the meter is pluggable
+// rather than derived from IBMon). The manager reads it once per charging
+// interval and hands the delta to the policy as VMTick.MemUnits; policies
+// that do not price memory bandwidth ignore it. Nil detaches.
+func (m *Manager) SetMemMeter(vm *ManagedVM, meter func() int64) {
+	vm.memMeter = meter
+	vm.lastMem = 0
+	if meter != nil {
+		vm.lastMem = meter()
+	}
+}
+
 // reallocate recomputes every managed VM's allocation from the supply and
 // the current shares. Balances adjust at the next replenishment (or
 // immediately for a VM that has not been charged yet this epoch).
@@ -503,6 +523,12 @@ func (m *Manager) tick() {
 		cpu := vm.Dom.CPUTime()
 		pct := 100 * float64(cpu-vm.lastCPU) / float64(m.cfg.Interval)
 		vm.lastCPU = cpu
+		var memUnits int64
+		if vm.memMeter != nil {
+			cur := vm.memMeter()
+			memUnits = cur - vm.lastMem
+			vm.lastMem = cur
+		}
 
 		lw := LatencyWindow{
 			Count: vm.reports.Count(),
@@ -512,8 +538,8 @@ func (m *Manager) tick() {
 		}
 		vm.reports.Reset()
 		vm.reportStd = 0
-		d.VMs = append(d.VMs, VMTick{VM: vm, MTUs: mtus, CPUPct: pct, Latency: lw,
-			Confidence: vm.confidence})
+		d.VMs = append(d.VMs, VMTick{VM: vm, MTUs: mtus, CPUPct: pct, MemUnits: memUnits,
+			Latency: lw, Confidence: vm.confidence})
 
 		// Learn the base latency as the quietest sustained report level.
 		if lw.Count > 0 && vm.sla == 0 {

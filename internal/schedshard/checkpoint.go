@@ -21,6 +21,11 @@ type State struct {
 	NextKey     uint64 `json:"next_key"`
 	Bound       int    `json:"bound"`
 	FailedCount int    `json:"failed"`
+	// Gang accounting (zero, and omitted, on fleets without scale-sets).
+	// GangsPartial breaking zero means the all-or-nothing invariant broke.
+	GangsPlaced  uint64 `json:"gangs_placed,omitempty"`
+	GangsFailed  uint64 `json:"gangs_failed,omitempty"`
+	GangsPartial uint64 `json:"gangs_partial,omitempty"`
 	// BindingsFNV is the order-sensitive checksum over (key, node) of
 	// every committed bind, hex so the JSON is byte-stable.
 	BindingsFNV string `json:"bindings_fnv"`
@@ -40,6 +45,9 @@ func (s *Scheduler) Checkpoint() State {
 		Rounds:         s.rounds,
 		Retries:        s.retries,
 		NextKey:        s.nextKey,
+		GangsPlaced:    s.gangsPlaced,
+		GangsFailed:    s.gangsFailed,
+		GangsPartial:   s.gangsPartial,
 		Bound:          len(s.bound),
 		FailedCount:    len(s.failed),
 		BindingsFNV:    fmt.Sprintf("%016x", s.BindFNV()),

@@ -174,6 +174,26 @@ func (HealthyHost) Name() string { return "healthy-host" }
 // Filter implements FilterPlugin.
 func (HealthyHost) Filter(h *HostInfo, _ Spec) bool { return h.Health != HealthQuarantined }
 
+// MemBWFit filters hosts whose memory bandwidth is fully committed, for
+// specs that declare a memory-bandwidth demand. Hosts that do not account
+// for memory bandwidth (MemBWBytesPerSec == 0) and specs without a demand
+// always pass, so the filter is a strict no-op on fleets that do not model
+// the dimension. The threshold matches Store.CommitRound's claim check —
+// the last reservation may overshoot capacity, but a saturated host admits
+// no further membw demand.
+type MemBWFit struct{}
+
+// Name implements FilterPlugin.
+func (MemBWFit) Name() string { return "membw-fit" }
+
+// Filter implements FilterPlugin.
+func (MemBWFit) Filter(h *HostInfo, s Spec) bool {
+	if h.MemBWBytesPerSec <= 0 || s.MemBytesPerSec <= 0 {
+		return true
+	}
+	return h.MemBWCommitted < 1
+}
+
 // SpreadByCPU scores hosts by free PCPU fraction: the classic
 // least-allocated spreading any CPU-only scheduler does.
 type SpreadByCPU struct{}
@@ -302,6 +322,7 @@ func NewSpreadPipeline() *Pipeline {
 	return NewPipeline().
 		AddFilter(FitsPCPUs{}).
 		AddFilter(HealthyHost{}).
+		AddFilter(MemBWFit{}).
 		AddScorer(SpreadByCPU{}, 1)
 }
 
@@ -312,6 +333,7 @@ func NewInterferencePipeline() *Pipeline {
 	return NewPipeline().
 		AddFilter(FitsPCPUs{}).
 		AddFilter(HealthyHost{}).
+		AddFilter(MemBWFit{}).
 		AddScorer(InterferenceAware{}, 1).
 		AddScorer(ResoHeadroom{}, 0.3).
 		AddScorer(SpreadByCPU{}, 0.5)
@@ -325,6 +347,7 @@ func NewRatePipeline() *Pipeline {
 	return NewPipeline().
 		AddFilter(FitsPCPUs{}).
 		AddFilter(HealthyHost{}).
+		AddFilter(MemBWFit{}).
 		AddScorer(InterferenceAware{}, 1).
 		AddScorer(RateWeightedHeadroom{}, 0.6).
 		AddScorer(SpreadByCPU{}, 0.2)

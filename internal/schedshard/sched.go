@@ -1,6 +1,9 @@
 package schedshard
 
-import "sync"
+import (
+	"fmt"
+	"sync"
+)
 
 // Config parameterizes a Scheduler.
 type Config struct {
@@ -52,6 +55,11 @@ type Pending struct {
 	Key  uint64
 	Spec Spec
 	VM   VMInfo
+	// Gang and GangSize mark scale-set members (see EnqueueGang): all
+	// members carry the same Gang id (the first member's key) and are
+	// placed all-or-nothing.
+	Gang     uint64
+	GangSize int
 }
 
 // ShardCounters is one logical shard's lifetime accounting.
@@ -104,11 +112,26 @@ type Scheduler struct {
 	nextBuf []Pending // double buffer for the post-merge requeue
 	merge   []Bind    // reused merge buffer
 
-	nextKey uint64
-	rounds  uint64
-	retries uint64
-	bound   []Bind
-	failed  []Pending
+	nextKey      uint64
+	rounds       uint64
+	retries      uint64
+	gangsPlaced  uint64
+	gangsFailed  uint64
+	gangsPartial uint64
+	bound        []Bind
+	failed       []Pending
+}
+
+// GangStats is the scheduler's lifetime gang accounting.
+type GangStats struct {
+	// Placed counts gangs whose every member committed (atomically, in one
+	// round). Failed counts gangs declared unplaceable. Partial counts gangs
+	// observed committed with some but not all members — the all-or-nothing
+	// invariant says this is always zero; it is reported (and audited by
+	// internal/invariant) rather than assumed.
+	Placed  uint64
+	Failed  uint64
+	Partial uint64
 }
 
 // NewScheduler builds a scheduler over the given store.
@@ -138,6 +161,31 @@ func (s *Scheduler) Enqueue(spec Spec, vm VMInfo) uint64 {
 	return s.nextKey
 }
 
+// EnqueueGang queues a scale-set: n identical placement requests that must
+// bind all-or-nothing (arktos-style gang placement). Member i takes the
+// name "<spec.Name>/<i>"; all members share a Gang id — the first member's
+// key — and consecutive keys, so the gang is contiguous in canonical key
+// order, partitions onto a single shard, and commits (or conflicts, or
+// starves, or fails) as a unit. Returns the Gang id; n < 1 enqueues
+// nothing and returns 0.
+func (s *Scheduler) EnqueueGang(spec Spec, vm VMInfo, n int) uint64 {
+	if n < 1 {
+		return 0
+	}
+	gang := s.nextKey + 1
+	base := spec.Name
+	for i := 0; i < n; i++ {
+		s.nextKey++
+		member := spec
+		member.Name = fmt.Sprintf("%s/%d", base, i)
+		mvm := vm
+		mvm.Spec = member
+		s.pending = append(s.pending, Pending{Key: s.nextKey, Spec: member, VM: mvm,
+			Gang: gang, GangSize: n})
+	}
+	return gang
+}
+
 // splitmix64 is the finalizer experiments.DeriveSeed uses; here it maps a
 // (seed, key) pair onto a shard uniformly.
 func splitmix64(z uint64) uint64 {
@@ -155,6 +203,16 @@ func splitmix64(z uint64) uint64 {
 func (s *Scheduler) shardOf(key uint64) int {
 	z := splitmix64(uint64(s.cfg.Seed) + 0x9e3779b97f4a7c15*key)
 	return int(z % uint64(s.cfg.Shards))
+}
+
+// partitionKey is what a pending request partitions by: its own key, or the
+// gang id for scale-set members — the whole gang must land on one shard so
+// a single lane can propose (or starve) it atomically.
+func (p *Pending) partitionKey() uint64 {
+	if p.Gang != 0 {
+		return p.Gang
+	}
+	return p.Key
 }
 
 // Round runs one propose→merge→commit cycle over the current pending
@@ -192,9 +250,10 @@ func (s *Scheduler) Round() RoundStats {
 		ln.props = ln.props[:0]
 		ln.starved = ln.starved[:0]
 	}
-	for _, p := range s.pending {
-		ln := s.lanes[s.shardOf(p.Key)]
-		ln.work = append(ln.work, p)
+	for i := range s.pending {
+		p := &s.pending[i]
+		ln := s.lanes[s.shardOf(p.partitionKey())]
+		ln.work = append(ln.work, *p)
 	}
 
 	// Propose, shards in parallel up to Workers.
@@ -211,11 +270,36 @@ func (s *Scheduler) Round() RoundStats {
 	committed, conflicted := s.store.CommitRound(merged)
 	rs.Committed, rs.Conflicted = len(committed), len(conflicted)
 	s.bound = append(s.bound, committed...)
+	bindShard := func(b Bind) int {
+		if b.Gang != 0 {
+			return s.shardOf(b.Gang)
+		}
+		return s.shardOf(b.Key)
+	}
 	for _, b := range committed {
-		s.lanes[s.shardOf(b.Key)].stats.Committed++
+		s.lanes[bindShard(b)].stats.Committed++
 	}
 	for _, b := range conflicted {
-		s.lanes[s.shardOf(b.Key)].stats.Conflicted++
+		s.lanes[bindShard(b)].stats.Conflicted++
+	}
+
+	// Gang accounting: committed gangs are contiguous runs in key order
+	// (CommitRound is atomic per gang, so a run is either a whole gang or —
+	// if the invariant were ever broken — a partial one, which is counted,
+	// not hidden).
+	for i := 0; i < len(committed); {
+		j := i + 1
+		if g := committed[i].Gang; g != 0 {
+			for j < len(committed) && committed[j].Gang == g {
+				j++
+			}
+			if j-i == committed[i].GangSize {
+				s.gangsPlaced++
+			} else {
+				s.gangsPartial++
+			}
+		}
+		i = j
 	}
 
 	// Requeue: conflict losers (looked up by key in the still-intact
@@ -238,6 +322,13 @@ func (s *Scheduler) Round() RoundStats {
 		// earlier-keyed bind that won it.)
 		rs.Failed = len(next)
 		s.failed = append(s.failed, next...)
+		var lastGang uint64
+		for _, p := range next {
+			if p.Gang != 0 && p.Gang != lastGang {
+				s.gangsFailed++
+				lastGang = p.Gang
+			}
+		}
 		next = next[:0]
 	}
 	s.retries += uint64(len(next))
@@ -301,25 +392,77 @@ func (s *Scheduler) runLane(ln *lane, shardIdx int, snap *Snapshot) {
 	if s.cfg.AvoidConflicts && s.cfg.Shards > 1 {
 		off = shardIdx * len(ln.view) / s.cfg.Shards
 	}
-	for _, p := range ln.work {
+	// claim adjusts the lane's private headroom so this shard's later picks
+	// see its earlier ones. The claim touches FreePCPUs, IOCommitted and
+	// MemBWCommitted but never the resident-VM list — same-round
+	// interference between a shard's own proposals becomes visible only
+	// after commit, like every other shard's. Never mutate h.VMs: it
+	// aliases the shared snapshot. The recorded exact prior values let a
+	// failed gang unwind with no float residue.
+	type claim struct {
+		idx, free int
+		io, mem   float64
+	}
+	apply := func(p Pending) (claim, bool) {
 		idx := ln.pipe.Pick(ln.ptrs, p.Spec, off)
 		if idx < 0 {
-			ln.stats.Starved++
-			ln.starved = append(ln.starved, p)
-			continue
+			return claim{}, false
 		}
 		h := &ln.view[idx]
-		// Claim locally so this shard's later picks see its earlier ones.
-		// The claim adjusts headroom (FreePCPUs, IOCommitted) but not the
-		// resident-VM list — same-round interference between a shard's own
-		// proposals becomes visible only after commit, like every other
-		// shard's. Never mutate h.VMs here: it aliases the shared snapshot.
+		c := claim{idx: idx, free: h.FreePCPUs, io: h.IOCommitted, mem: h.MemBWCommitted}
 		h.FreePCPUs--
 		if h.LinkBytesPerSec > 0 {
 			h.IOCommitted += p.VM.BytesPerSec / h.LinkBytesPerSec
 		}
+		if h.MemBWBytesPerSec > 0 {
+			h.MemBWCommitted += p.VM.MemBytesPerSec / h.MemBWBytesPerSec
+		}
 		ln.stats.Proposed++
-		ln.props = append(ln.props, Bind{Key: p.Key, Node: h.Node, VM: p.VM})
+		ln.props = append(ln.props, Bind{Key: p.Key, Node: h.Node, VM: p.VM,
+			Gang: p.Gang, GangSize: p.GangSize})
+		return c, true
+	}
+	// Gang members are contiguous in work (consecutive keys, key-sorted
+	// partition slices); each group is proposed all-or-nothing.
+	var claims []claim
+	for i := 0; i < len(ln.work); {
+		j := i + 1
+		if g := ln.work[i].Gang; g != 0 {
+			for j < len(ln.work) && ln.work[j].Gang == g {
+				j++
+			}
+		}
+		group := ln.work[i:j]
+		i = j
+
+		claims = claims[:0]
+		propMark := len(ln.props)
+		ok := true
+		for _, p := range group {
+			c, placed := apply(p)
+			if !placed {
+				ok = false
+				break
+			}
+			claims = append(claims, c)
+		}
+		if ok {
+			continue
+		}
+		// Unwind the group's claims in reverse (later claims may touch the
+		// same host) and starve the whole group: a gang with no feasible
+		// placement for every member proposes nothing this round.
+		for k := len(claims) - 1; k >= 0; k-- {
+			c := claims[k]
+			h := &ln.view[c.idx]
+			h.FreePCPUs = c.free
+			h.IOCommitted = c.io
+			h.MemBWCommitted = c.mem
+		}
+		ln.stats.Proposed -= uint64(len(claims))
+		ln.props = ln.props[:propMark]
+		ln.stats.Starved += uint64(len(group))
+		ln.starved = append(ln.starved, group...)
 	}
 }
 
@@ -373,6 +516,11 @@ func (s *Scheduler) Conflicts() uint64 {
 		n += ln.stats.Conflicted
 	}
 	return n
+}
+
+// Gangs returns the lifetime gang accounting.
+func (s *Scheduler) Gangs() GangStats {
+	return GangStats{Placed: s.gangsPlaced, Failed: s.gangsFailed, Partial: s.gangsPartial}
 }
 
 // PendingLen is the queue depth awaiting the next round.

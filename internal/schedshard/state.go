@@ -43,6 +43,10 @@ type Spec struct {
 	// paper's single best predictor of how much damage a VM can do to a
 	// colocated latency-sensitive neighbor.
 	BufferSize int
+	// MemBytesPerSec is the declared memory-bandwidth demand, for
+	// mixed-criticality fleets that reserve memory bandwidth (H-MBR). Zero
+	// on fleets that do not model the dimension.
+	MemBytesPerSec float64
 }
 
 // VMInfo is the scheduler's view of one VM already resident on a host:
@@ -52,6 +56,10 @@ type VMInfo struct {
 	// MTUsPerSec/BytesPerSec are the IBMon-profiled send rates.
 	MTUsPerSec  float64
 	BytesPerSec float64
+	// MemBytesPerSec is the VM's declared (or profiled) memory-bandwidth
+	// demand, for mixed-criticality fleets that reserve memory bandwidth as
+	// a third dimension (H-MBR). Zero on fleets that do not model it.
+	MemBytesPerSec float64
 	// BufferSize is the IBMon-inferred buffer size (may exceed the spec's
 	// declared size; the larger of the two is what scorers should use).
 	BufferSize int
@@ -115,6 +123,13 @@ type HostInfo struct {
 	// IOCommitted is the fraction of the uplink the resident VMs' profiled
 	// send rates already account for.
 	IOCommitted float64
+	// MemBWBytesPerSec is the host's memory-bandwidth capacity; zero means
+	// the host does not account for memory bandwidth (every membw filter and
+	// commit check is then a no-op, so existing fleets are unaffected).
+	MemBWBytesPerSec float64
+	// MemBWCommitted is the fraction of MemBWBytesPerSec the resident VMs'
+	// declared memory-bandwidth demands already account for.
+	MemBWCommitted float64
 	// ResoHeadroom is the mean remaining Reso balance fraction across the
 	// host's managed VMs (1 = untouched allocations, 0 = exhausted).
 	ResoHeadroom float64
@@ -179,12 +194,16 @@ func (s *Snapshot) WithoutVM(node int, name string) []*HostInfo {
 		clone := *h
 		clone.VMs = make([]VMInfo, 0, len(h.VMs))
 		clone.IOCommitted = 0
+		clone.MemBWCommitted = 0
 		for _, vm := range h.VMs {
 			if vm.Spec.Name == name {
 				continue
 			}
 			if clone.LinkBytesPerSec > 0 {
 				clone.IOCommitted += vm.BytesPerSec / clone.LinkBytesPerSec
+			}
+			if clone.MemBWBytesPerSec > 0 {
+				clone.MemBWCommitted += vm.MemBytesPerSec / clone.MemBWBytesPerSec
 			}
 			clone.VMs = append(clone.VMs, vm)
 		}
@@ -204,6 +223,15 @@ type Bind struct {
 	Key  uint64
 	Node int
 	VM   VMInfo
+	// Gang, when nonzero, marks the bind as one member of an all-or-nothing
+	// gang (a scale-set): CommitRound applies the gang's binds atomically —
+	// either every member commits or every member conflicts. Gang is the Key
+	// of the gang's first member, so a gang's binds are consecutive in
+	// canonical key order. GangSize is the full gang population; a gang
+	// presented to CommitRound with fewer members than GangSize is rejected
+	// wholesale (a partial gang must never commit).
+	Gang     uint64
+	GangSize int
 }
 
 // Store holds the current snapshot and applies bind deltas to it. It is
@@ -271,6 +299,15 @@ func (st *Store) Publish(hosts []*HostInfo) *Snapshot {
 // was headroom — is a conflict: it is rejected, counted, and returned for
 // the caller to retry against the refreshed snapshot.
 //
+// Gang binds (Bind.Gang != 0) are all-or-nothing: the gang's members are
+// consecutive in key order, and if any member conflicts the whole gang is
+// rolled back to the host states it found — exact saved values, not
+// arithmetic inverses, so rollback leaves no float residue — and every
+// member is returned as conflicted. A gang arriving with fewer members
+// than its GangSize is rejected without touching anything. Because the
+// next snapshot is only installed after all groups are processed, no
+// published Snapshot ever exposes a partially bound gang.
+//
 // Touched hosts are cloned copy-on-write; untouched hosts are shared with
 // the previous snapshot. The previous snapshot itself is never mutated.
 // Both returned slices are in ascending key order.
@@ -291,31 +328,111 @@ func (st *Store) CommitRound(binds []Bind) (committed, conflicted []Bind) {
 	next := &Snapshot{Version: prev.Version + 1, Hosts: make([]*HostInfo, len(prev.Hosts))}
 	copy(next.Hosts, prev.Hosts)
 	cloned := make(map[int]int, len(binds)) // node -> index of its clone in next.Hosts
-	for _, b := range binds {
-		idx, ok := cloned[b.Node]
+
+	// cloneOf returns the index of a node's mutable clone (-1 if absent),
+	// cloning copy-on-write on first touch.
+	cloneOf := func(node int) int {
+		idx, ok := cloned[node]
 		if !ok {
-			idx = hostIndex(next.Hosts, b.Node)
+			idx = hostIndex(next.Hosts, node)
 			if idx >= 0 {
 				clone := *next.Hosts[idx]
 				clone.VMs = append(make([]VMInfo, 0, len(clone.VMs)+1), clone.VMs...)
 				next.Hosts[idx] = &clone
-				cloned[b.Node] = idx
+				cloned[node] = idx
+			} else {
+				cloned[node] = idx
 			}
 		}
-		if idx < 0 || next.Hosts[idx].FreePCPUs <= 0 ||
-			next.Hosts[idx].Health == HealthQuarantined {
-			st.conflicts++
-			conflicted = append(conflicted, b)
-			continue
+		return idx
+	}
+	// apply validates one bind against the evolving view and claims its
+	// resources. It reports failure without mutating anything.
+	apply := func(b Bind) bool {
+		idx := cloneOf(b.Node)
+		if idx < 0 {
+			return false
 		}
 		h := next.Hosts[idx]
+		if h.FreePCPUs <= 0 || h.Health == HealthQuarantined {
+			return false
+		}
+		if h.MemBWBytesPerSec > 0 && b.VM.MemBytesPerSec > 0 && h.MemBWCommitted >= 1 {
+			return false // memory bandwidth fully committed
+		}
 		h.FreePCPUs--
 		if h.LinkBytesPerSec > 0 {
 			h.IOCommitted += b.VM.BytesPerSec / h.LinkBytesPerSec
 		}
+		if h.MemBWBytesPerSec > 0 {
+			h.MemBWCommitted += b.VM.MemBytesPerSec / h.MemBWBytesPerSec
+		}
 		h.VMs = append(h.VMs, b.VM)
-		st.commits++
-		committed = append(committed, b)
+		return true
+	}
+
+	// savedHost is one host's exact pre-group state, for gang rollback.
+	type savedHost struct {
+		idx, free, vms int
+		io, mem        float64
+	}
+	for i := 0; i < len(binds); {
+		j := i + 1
+		if g := binds[i].Gang; g != 0 {
+			for j < len(binds) && binds[j].Gang == g {
+				j++
+			}
+		}
+		group := binds[i:j]
+		i = j
+
+		if g := group[0].Gang; g != 0 && len(group) != group[0].GangSize {
+			// Partial gang (cannot happen through the Scheduler, which
+			// requeues gangs whole; defends direct CommitRound callers and
+			// the fuzzer): reject without touching host state.
+			st.conflicts += uint64(len(group))
+			conflicted = append(conflicted, group...)
+			continue
+		}
+		var saves []savedHost
+		if group[0].Gang != 0 {
+			seen := make(map[int]bool, len(group))
+			for _, b := range group {
+				if seen[b.Node] {
+					continue
+				}
+				seen[b.Node] = true
+				if idx := cloneOf(b.Node); idx >= 0 {
+					h := next.Hosts[idx]
+					saves = append(saves, savedHost{idx: idx, free: h.FreePCPUs,
+						vms: len(h.VMs), io: h.IOCommitted, mem: h.MemBWCommitted})
+				}
+			}
+		}
+		applied := 0
+		for _, b := range group {
+			if !apply(b) {
+				break
+			}
+			applied++
+		}
+		if applied == len(group) {
+			st.commits += uint64(len(group))
+			committed = append(committed, group...)
+			continue
+		}
+		// Roll the gang's partial claims back to the exact saved states
+		// (singleton groups apply atomically, so applied is 0 here unless
+		// this is a gang).
+		for _, s := range saves {
+			h := next.Hosts[s.idx]
+			h.FreePCPUs = s.free
+			h.IOCommitted = s.io
+			h.MemBWCommitted = s.mem
+			h.VMs = h.VMs[:s.vms]
+		}
+		st.conflicts += uint64(len(group))
+		conflicted = append(conflicted, group...)
 	}
 	if len(committed) > 0 {
 		st.snap = next

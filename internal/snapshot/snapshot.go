@@ -44,7 +44,9 @@ import (
 // state: per-host send counters and in-flight message keys).
 // Version 4: State gained the exchange section (per-host fungible-market
 // trade books: board utilization EWMAs, ledger totals, holder positions).
-const Version = 4
+// Version 5: exchange vectors widened by the memory-bandwidth dimension
+// (DimMemBW) and schedshard pending/bound entries carry gang fields.
+const Version = 5
 
 // magic opens every snapshot file.
 var magic = []byte("RESEXSNAP\n")

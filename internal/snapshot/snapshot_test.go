@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"encoding/binary"
 	"encoding/json"
+	"fmt"
 	"path/filepath"
 	"strings"
 	"testing"
@@ -262,7 +263,7 @@ func TestDecodeRejectsPriorVersion(t *testing.T) {
 		t.Fatal("Decode accepted a version-3 snapshot")
 	}
 	if !strings.Contains(err.Error(), "format version 3") ||
-		!strings.Contains(err.Error(), "4") {
+		!strings.Contains(err.Error(), fmt.Sprint(Version)) {
 		t.Fatalf("version error does not name both versions: %v", err)
 	}
 }

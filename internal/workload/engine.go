@@ -183,6 +183,16 @@ func (e *Engine) AddTenant(spec TenantSpec) (*Tenant, error) {
 		if spec.Share > 1 {
 			e.Mgrs[hostIdx].SetShare(mvm, spec.Share)
 		}
+		if spec.MemBytesPerReq > 0 {
+			// Memory-bandwidth meter: cumulative 4 KiB units derived from the
+			// server's monotone served-request counter (integer arithmetic, so
+			// per-interval deltas carry no truncation drift).
+			srv := server
+			per := int64(spec.MemBytesPerReq)
+			e.Mgrs[hostIdx].SetMemMeter(mvm, func() int64 {
+				return srv.Stats().Served * per / 4096
+			})
+		}
 		// Only SLA-backed tenants run the in-VM reporting agent. A tenant
 		// without an SLA reference (bulk movers) is still managed — its MTU
 		// rate is visible to attribution and its VCPU can be capped — but it

@@ -93,6 +93,13 @@ type TenantSpec struct {
 	// InterruptCost is client CPU per reaped completion — the event-driven
 	// wakeup price (default 2 µs; negative disables).
 	InterruptCost sim.Time
+	// MemBytesPerReq is the server-side memory traffic each request incurs,
+	// in bytes — the mixed-criticality knob: on a managed host it feeds the
+	// ResEx memory-bandwidth meter (resex.Manager.SetMemMeter), so the
+	// tenant's DimMemBW spend is priced and traded on the host's exchange
+	// book. 0 (the default) leaves the tenant unmetered and the third
+	// dimension untouched.
+	MemBytesPerReq int
 	// Seed drives the tenant's private RNG (arrivals, think times, jitter)
 	// and its request generator. Default 1.
 	Seed int64
